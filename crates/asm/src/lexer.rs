@@ -1,0 +1,228 @@
+//! Line-oriented tokenizer.
+//!
+//! FlexiCore assembly is simple enough that the lexer works line by line:
+//! comments run from `;` to end of line, tokens are separated by whitespace
+//! and commas, and a trailing `:` on the first token makes it a label
+//! definition.
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier: mnemonic, label reference, or condition suffix holder
+    /// (e.g. `br.z` lexes as one identifier, split later).
+    Ident(String),
+    /// A register/memory operand `rN`.
+    Reg(u8),
+    /// An integer literal (decimal, `0x…`, `0b…`, possibly negated).
+    Int(i64),
+    /// A directive starting with `.` (e.g. `.page`).
+    Directive(String),
+}
+
+/// One source line after lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Label defined at the start of this line, if any.
+    pub label: Option<String>,
+    /// Remaining tokens.
+    pub tokens: Vec<Token>,
+}
+
+/// Lex a full source text into non-empty lines.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with [`AsmErrorKind::BadToken`] for unlexable text.
+pub fn lex(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let code = raw.split(';').next().unwrap_or("");
+        let mut words: Vec<&str> = code
+            .split([' ', '\t', ','])
+            .filter(|w| !w.is_empty())
+            .collect();
+        if words.is_empty() {
+            continue;
+        }
+        let mut label = None;
+        // allow `label:` and `label: insn ...`
+        if let Some(first) = words.first() {
+            if let Some(name) = first.strip_suffix(':') {
+                if name.is_empty() {
+                    return Err(AsmError::new(
+                        number,
+                        AsmErrorKind::BadToken {
+                            text: (*first).to_string(),
+                        },
+                    ));
+                }
+                validate_ident(name, number)?;
+                label = Some(name.to_string());
+                words.remove(0);
+            }
+        }
+        let mut tokens = Vec::with_capacity(words.len());
+        for w in words {
+            tokens.push(lex_token(w, number)?);
+        }
+        lines.push(Line {
+            number,
+            label,
+            tokens,
+        });
+    }
+    Ok(lines)
+}
+
+fn validate_ident(name: &str, line: usize) -> Result<(), AsmError> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '@')
+        && !name.chars().next().unwrap().is_ascii_digit();
+    if ok {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            line,
+            AsmErrorKind::BadToken {
+                text: name.to_string(),
+            },
+        ))
+    }
+}
+
+fn lex_token(word: &str, line: usize) -> Result<Token, AsmError> {
+    if let Some(dir) = word.strip_prefix('.') {
+        validate_ident(dir, line)?;
+        return Ok(Token::Directive(dir.to_ascii_lowercase()));
+    }
+    // registers: r0..r15 (lowercase or uppercase)
+    if let Some(rest) = word.strip_prefix('r').or_else(|| word.strip_prefix('R')) {
+        if let Ok(n) = rest.parse::<u8>() {
+            if n < 16 {
+                return Ok(Token::Reg(n));
+            }
+        }
+    }
+    if let Some(v) = parse_int(word) {
+        return Ok(Token::Int(v));
+    }
+    if word.starts_with(|c: char| c.is_ascii_digit()) || word.starts_with('-') {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::BadToken {
+                text: word.to_string(),
+            },
+        ));
+    }
+    validate_ident(word, line)?;
+    Ok(Token::Ident(word.to_ascii_lowercase()))
+}
+
+fn parse_int(word: &str) -> Option<i64> {
+    let (neg, body) = match word.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, word),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else if body.chars().all(|c| c.is_ascii_digit()) && !body.is_empty() {
+        body.parse::<i64>().ok()?
+    } else {
+        return None;
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_labels_mnemonics_and_operands() {
+        let lines = lex("start:  load r0 ; read input\n  addi -3\n").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].label.as_deref(), Some("start"));
+        assert_eq!(
+            lines[0].tokens,
+            vec![Token::Ident("load".into()), Token::Reg(0)]
+        );
+        assert_eq!(
+            lines[1].tokens,
+            vec![Token::Ident("addi".into()), Token::Int(-3)]
+        );
+    }
+
+    #[test]
+    fn skips_blank_and_comment_only_lines() {
+        let lines = lex("\n; nothing\n   \n  halt\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].number, 4);
+    }
+
+    #[test]
+    fn hex_binary_and_negative_literals() {
+        let lines = lex("x: addi 0x0F\n y: addi 0b101\n z: addi -8\n w: addi -0x3\n").unwrap();
+        assert_eq!(lines[0].tokens[1], Token::Int(15));
+        assert_eq!(lines[1].tokens[1], Token::Int(5));
+        assert_eq!(lines[2].tokens[1], Token::Int(-8));
+        assert_eq!(lines[3].tokens[1], Token::Int(-3));
+    }
+
+    #[test]
+    fn commas_are_separators() {
+        let lines = lex("add r2, r3\n").unwrap();
+        assert_eq!(
+            lines[0].tokens,
+            vec![Token::Ident("add".into()), Token::Reg(2), Token::Reg(3)]
+        );
+    }
+
+    #[test]
+    fn directives() {
+        let lines = lex(".page 3\n").unwrap();
+        assert_eq!(
+            lines[0].tokens,
+            vec![Token::Directive("page".into()), Token::Int(3)]
+        );
+    }
+
+    #[test]
+    fn label_with_instruction_on_same_line() {
+        let lines = lex("loop: addi 1\n").unwrap();
+        assert_eq!(lines[0].label.as_deref(), Some("loop"));
+        assert_eq!(lines[0].tokens.len(), 2);
+    }
+
+    #[test]
+    fn bad_tokens_are_rejected() {
+        assert!(lex("addi 12abc\n").is_err());
+        assert!(lex(": load r0\n").is_err());
+    }
+
+    #[test]
+    fn register_out_of_range_is_identifier_error() {
+        // r16 is not a register; it also isn't a valid identifier start? it
+        // is a valid identifier actually ("r16"), so it lexes as Ident and
+        // the parser rejects it later.
+        let lines = lex("load r16\n").unwrap();
+        assert_eq!(lines[0].tokens[1], Token::Ident("r16".into()));
+    }
+
+    #[test]
+    fn dotted_condition_mnemonics_lex_as_single_ident() {
+        let lines = lex("br.z done\n").unwrap();
+        assert_eq!(
+            lines[0].tokens,
+            vec![Token::Ident("br.z".into()), Token::Ident("done".into())]
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Statement parser.
+//!
+//! Turns lexed [`Line`]s into a flat statement list. Mnemonic validity and
+//! operand shapes are checked later, during expansion, where the target
+//! dialect is known.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::lexer::{lex, Line, Token};
+
+/// An instruction operand as written in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Register / data-memory word `rN`.
+    Reg(u8),
+    /// Immediate literal.
+    Imm(i64),
+    /// Label reference.
+    Label(String),
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Label definition.
+    Label {
+        /// The label name.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// `.page n` — subsequent code is placed in MMU page `n`.
+    Page {
+        /// The page number (0..16).
+        page: u8,
+        /// Source line.
+        line: usize,
+    },
+    /// An instruction or pseudo-instruction.
+    Insn {
+        /// Lower-cased mnemonic (without condition suffix).
+        mnemonic: String,
+        /// Condition suffix for branches (`z` in `br.z`), if present.
+        cond: Option<String>,
+        /// Operands in source order.
+        operands: Vec<Operand>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl Stmt {
+    /// The source line of this statement.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Label { line, .. } | Stmt::Page { line, .. } | Stmt::Insn { line, .. } => *line,
+        }
+    }
+}
+
+/// Parse a complete source text.
+///
+/// # Errors
+///
+/// Propagates lexer errors and reports malformed directives or operands.
+pub fn parse(source: &str) -> Result<Vec<Stmt>, AsmError> {
+    let lines = lex(source)?;
+    let mut stmts = Vec::new();
+    for line in lines {
+        parse_line(line, &mut stmts)?;
+    }
+    Ok(stmts)
+}
+
+fn parse_line(line: Line, out: &mut Vec<Stmt>) -> Result<(), AsmError> {
+    let n = line.number;
+    if let Some(name) = line.label {
+        out.push(Stmt::Label { name, line: n });
+    }
+    if line.tokens.is_empty() {
+        return Ok(());
+    }
+    match &line.tokens[0] {
+        Token::Directive(d) if d == "page" => {
+            let page = match line.tokens.get(1) {
+                Some(Token::Int(v)) if (0..16).contains(v) => *v as u8,
+                Some(Token::Int(v)) => {
+                    return Err(AsmError::new(
+                        n,
+                        AsmErrorKind::OutOfRange {
+                            what: "page number".into(),
+                            value: *v,
+                            range: (0, 15),
+                        },
+                    ))
+                }
+                _ => {
+                    return Err(AsmError::new(
+                        n,
+                        AsmErrorKind::Syntax {
+                            message: "`.page` takes one integer argument".into(),
+                        },
+                    ))
+                }
+            };
+            if line.tokens.len() > 2 {
+                return Err(AsmError::new(
+                    n,
+                    AsmErrorKind::Syntax {
+                        message: "unexpected tokens after `.page n`".into(),
+                    },
+                ));
+            }
+            out.push(Stmt::Page { page, line: n });
+            Ok(())
+        }
+        Token::Directive(d) => Err(AsmError::new(
+            n,
+            AsmErrorKind::Syntax {
+                message: format!("unknown directive `.{d}`"),
+            },
+        )),
+        Token::Ident(name) => {
+            let (mnemonic, cond) = match name.split_once('.') {
+                Some((m, c)) if !m.is_empty() && !c.is_empty() => {
+                    (m.to_string(), Some(c.to_string()))
+                }
+                _ => (name.clone(), None),
+            };
+            let mut operands = Vec::new();
+            for tok in &line.tokens[1..] {
+                operands.push(match tok {
+                    Token::Reg(r) => Operand::Reg(*r),
+                    Token::Int(v) => Operand::Imm(*v),
+                    Token::Ident(l) => Operand::Label(l.clone()),
+                    Token::Directive(d) => {
+                        return Err(AsmError::new(
+                            n,
+                            AsmErrorKind::Syntax {
+                                message: format!("directive `.{d}` cannot be an operand"),
+                            },
+                        ))
+                    }
+                });
+            }
+            out.push(Stmt::Insn {
+                mnemonic,
+                cond,
+                operands,
+                line: n,
+            });
+            Ok(())
+        }
+        other => Err(AsmError::new(
+            n,
+            AsmErrorKind::Syntax {
+                message: format!("expected a mnemonic or directive, found {other:?}"),
+            },
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labels_and_instructions() {
+        let stmts = parse("loop: load r0\n  br loop\n").unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(&stmts[0], Stmt::Label { name, .. } if name == "loop"));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::Insn { mnemonic, operands, .. }
+                if mnemonic == "load" && operands == &[Operand::Reg(0)]
+        ));
+        assert!(matches!(
+            &stmts[2],
+            Stmt::Insn { mnemonic, operands, .. }
+                if mnemonic == "br" && operands == &[Operand::Label("loop".into())]
+        ));
+    }
+
+    #[test]
+    fn condition_suffix_split() {
+        let stmts = parse("br.nz top\n").unwrap();
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Insn { mnemonic, cond: Some(c), .. }
+                if mnemonic == "br" && c == "nz"
+        ));
+    }
+
+    #[test]
+    fn page_directive() {
+        let stmts = parse(".page 2\n").unwrap();
+        assert!(matches!(&stmts[0], Stmt::Page { page: 2, .. }));
+        assert!(parse(".page 16\n").is_err());
+        assert!(parse(".page\n").is_err());
+        assert!(parse(".unknown 1\n").is_err());
+    }
+
+    #[test]
+    fn mixed_operands() {
+        let stmts = parse("movi r2, 7\n").unwrap();
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Insn { operands, .. }
+                if operands == &[Operand::Reg(2), Operand::Imm(7)]
+        ));
+    }
+}

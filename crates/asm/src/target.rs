@@ -1,0 +1,104 @@
+//! Assembly targets: dialect + feature configuration.
+
+use flexicore::isa::features::FeatureSet;
+use flexicore::isa::Dialect;
+
+/// What the assembler is building for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Target {
+    /// The ISA dialect.
+    pub dialect: Dialect,
+    /// Enabled ISA extensions (meaningful for the DSE dialects; ignored for
+    /// the fabricated `fc4`/`fc8` dialects, which have fixed ISAs).
+    pub features: FeatureSet,
+}
+
+impl Target {
+    /// The fabricated FlexiCore4.
+    #[must_use]
+    pub fn fc4() -> Target {
+        Target {
+            dialect: Dialect::Fc4,
+            features: FeatureSet::BASE,
+        }
+    }
+
+    /// The fabricated FlexiCore8.
+    #[must_use]
+    pub fn fc8() -> Target {
+        Target {
+            dialect: Dialect::Fc8,
+            features: FeatureSet::BASE,
+        }
+    }
+
+    /// The extended accumulator dialect with the given features.
+    #[must_use]
+    pub fn xacc(features: FeatureSet) -> Target {
+        Target {
+            dialect: Dialect::ExtendedAcc,
+            features,
+        }
+    }
+
+    /// The load-store dialect with the given features.
+    #[must_use]
+    pub fn xls(features: FeatureSet) -> Target {
+        Target {
+            dialect: Dialect::LoadStore,
+            features,
+        }
+    }
+
+    /// The paper's revised accumulator ISA (§6.1 conclusion).
+    #[must_use]
+    pub fn xacc_revised() -> Target {
+        Target::xacc(FeatureSet::revised())
+    }
+
+    /// The paper's load-store DSE machine with the revised operation set.
+    #[must_use]
+    pub fn xls_revised() -> Target {
+        Target::xls(FeatureSet::revised())
+    }
+
+    /// Number of addressable data words (memory words for accumulator
+    /// dialects, registers for load-store), including the two IO-mapped
+    /// ones.
+    #[must_use]
+    pub fn data_words(&self) -> usize {
+        match self.dialect {
+            Dialect::Fc4 => 8,
+            Dialect::Fc8 => 4,
+            Dialect::ExtendedAcc => 8,
+            Dialect::LoadStore => 8,
+        }
+    }
+
+    /// Whether this target's branches can be unconditional in one
+    /// instruction.
+    #[must_use]
+    pub fn has_unconditional_branch(&self) -> bool {
+        use flexicore::isa::features::Feature;
+        match self.dialect {
+            Dialect::Fc4 | Dialect::Fc8 => false,
+            Dialect::ExtendedAcc | Dialect::LoadStore => {
+                self.features.contains(Feature::BranchFlags)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Target::fc4().dialect, Dialect::Fc4);
+        assert_eq!(Target::fc8().data_words(), 4);
+        assert!(Target::xacc_revised().has_unconditional_branch());
+        assert!(!Target::fc4().has_unconditional_branch());
+        assert!(!Target::xacc(FeatureSet::BASE).has_unconditional_branch());
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's cost arguments, §1 and §4.3: what 81 % yield buys at
+//! volume, and why a 5 nm CMOS FlexiCore would be impractical to dice.
+
+use flexfab::cost::{pads_per_edge, silicon_dicing_utilization, FlexibleCostModel};
+use flexfab::wafer_run::{CoreDesign, WaferExperiment};
+
+fn main() {
+    flexbench::header("§1/§4.1 — cost per good die vs yield (200 mm foil)");
+    let measured_yield = WaferExperiment::published(CoreDesign::FlexiCore4)
+        .run(4.5, 10_000)
+        .yield_inclusion();
+    println!(
+        "{:>12} {:>10} {:>16} {:>16}",
+        "wafer cost", "yield", "cents/good die", "sub-cent?"
+    );
+    for wafer_cents in [700.0, 300.0, 100.0, 80.0] {
+        for (label, y) in [("paper 81%", 0.81), ("measured", measured_yield)] {
+            let m = FlexibleCostModel {
+                wafer_cost_cents: wafer_cents,
+                yield_fraction: y,
+                ..FlexibleCostModel::flexicore4_volume()
+            };
+            println!(
+                "{:>10}¢  {:>9} {:>16.2} {:>16}",
+                wafer_cents,
+                label,
+                m.cents_per_good_die(),
+                if m.is_sub_cent() { "yes" } else { "no" }
+            );
+        }
+    }
+    println!("(the paper's sub-cent claim is a volume claim: it needs the ≈$1 foil that");
+    println!(" item-level-tagging volumes imply, at which point 81% yield clears the bar)");
+
+    flexbench::header("§4.3 — a 5 nm CMOS FlexiCore would be dicing- and IO-limited");
+    println!("{:>14} {:>18}", "street width", "wafer utilization");
+    for street_um in [200.0, 100.0, 50.0, 10.0] {
+        println!(
+            "{:>11} µm {:>17.0}%",
+            street_um,
+            silicon_dicing_utilization(0.03, street_um) * 100.0
+        );
+    }
+    println!(
+        "\nIO: a 30 µm edge at 10 µm pad pitch carries {} pad(s) per side — {} total,\n\
+         far short of FlexiCore4's 24 data pads (hence: stay flexible).",
+        pads_per_edge(30.0, 10.0),
+        4 * pads_per_edge(30.0, 10.0),
+    );
+}

@@ -1,0 +1,45 @@
+//! Beyond the paper: sweep all 128 ISA-extension combinations on the
+//! single-cycle accumulator machine and print the (area, code) Pareto
+//! frontier — which extensions earn their gates.
+
+use flexdse::sweep::{code_area_frontier, sweep_all_combinations};
+use flexicore::isa::features::FeatureSet;
+
+fn main() {
+    flexbench::header("Exhaustive feature sweep — 128 combinations");
+    let points = sweep_all_combinations().expect("suite assembles everywhere");
+    let frontier = code_area_frontier(&points);
+    let base = points
+        .iter()
+        .find(|p| p.features.is_base())
+        .expect("base point exists");
+    println!(
+        "{:<44} {:>9} {:>9} {:>9}",
+        "features (Pareto frontier)", "area", "insns", "vs base"
+    );
+    for p in &frontier {
+        println!(
+            "{:<44} {:>9.0} {:>9} {:>8.0}%",
+            p.features.to_string(),
+            p.area_nand2,
+            p.suite_instructions,
+            p.suite_instructions as f64 / base.suite_instructions as f64 * 100.0,
+        );
+    }
+    let revised = points
+        .iter()
+        .find(|p| p.features == FeatureSet::revised())
+        .expect("revised point exists");
+    let on_frontier = frontier.iter().any(|p| p.features == revised.features);
+    println!(
+        "\nthe paper's revised set ({}) sits {} the frontier: {:.0} NAND2, {} instructions",
+        revised.features,
+        if on_frontier { "on" } else { "near" },
+        revised.area_nand2,
+        revised.suite_instructions,
+    );
+    println!(
+        "{} of 128 combinations are Pareto-optimal on (area, suite instructions)",
+        frontier.len()
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 10: per-benchmark code size with each ISA extension, relative
+//! to the baseline FlexiCore4 ISA.
+
+use flexdse::codesize::suite_code_sizes;
+use flexdse::config::{CoreConfig, OperandModel};
+use flexicore::isa::features::{Feature, FeatureSet};
+use flexicore::uarch::Microarch;
+use flexkernels::Kernel;
+
+fn main() {
+    flexbench::header("Figure 10 — per-kernel code size per extension (relative to base)");
+    let base = suite_code_sizes(&CoreConfig::flexicore4()).expect("suite assembles");
+    print!("{:<15}", "kernel");
+    for f in Feature::ALL {
+        print!(" {:>12}", f.label());
+    }
+    println!();
+    let mut per_feature: Vec<Vec<f64>> = Vec::new();
+    for f in Feature::ALL {
+        let cfg = CoreConfig {
+            operand: OperandModel::Accumulator,
+            uarch: Microarch::SingleCycle,
+            features: FeatureSet::only(f),
+        };
+        let sizes = suite_code_sizes(&cfg).expect("suite assembles");
+        per_feature.push(
+            sizes
+                .iter()
+                .zip(&base)
+                .map(|(s, b)| s.bits as f64 / b.bits as f64)
+                .collect(),
+        );
+    }
+    for (ki, k) in Kernel::ALL.iter().enumerate() {
+        print!("{:<15}", k.name());
+        for col in &per_feature {
+            print!(" {:>12.2}", col[ki]);
+        }
+        println!();
+    }
+    println!("\npaper: RShift collapses IntAvg/XorShift8; BranchFlags helps branch-heavy kernels;");
+    println!("2x regfile changes nothing");
+}

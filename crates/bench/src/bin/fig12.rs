@@ -1,0 +1,24 @@
+//! Figure 12: normalized core area vs benchmark-suite code size for the
+//! accumulator and load-store machines across microarchitectures.
+
+use flexdse::pareto::{figure12_points, pareto_frontier};
+
+fn main() {
+    flexbench::header("Figure 12 — core area vs code size (normalized to FlexiCore4)");
+    let points = figure12_points().expect("points compute");
+    println!("{:<10} {:>10} {:>12}", "config", "rel area", "rel code");
+    let name = |p: &flexdse::pareto::TradeoffPoint| {
+        if (p.rel_area - 1.0).abs() < 1e-9 && (p.rel_code - 1.0).abs() < 1e-9 {
+            "FC4 base".to_string()
+        } else {
+            p.config.label()
+        }
+    };
+    for p in &points {
+        println!("{:<10} {:>10.3} {:>12.3}", name(p), p.rel_area, p.rel_code);
+    }
+    let frontier = pareto_frontier(&points);
+    let names: Vec<String> = frontier.iter().map(name).collect();
+    println!("\nPareto frontier (area, code): {}", names.join(", "));
+    println!("paper: LS slightly denser code; Acc SC the smallest core; LS MC sheds the 2nd regfile port");
+}

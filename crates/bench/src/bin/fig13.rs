@@ -1,0 +1,34 @@
+//! Figure 13: relative energy of the DSE cores with an
+//! integrated-memory-width program bus vs the fabricated 8-bit bus.
+//!
+//! With the 8-bit bus the single-cycle and pipelined load-store machines
+//! cannot fetch an instruction per cycle (§6.2) — they are marked
+//! infeasible.
+
+use flexdse::config::CoreConfig;
+use flexdse::perf::evaluate;
+use flexicore::uarch::BusWidth;
+
+fn main() {
+    flexbench::header("Figure 13 — relative energy, wide bus vs 8-bit program bus");
+    let base = evaluate(&CoreConfig::flexicore4(), BusWidth::WIDE).expect("baseline evaluates");
+    let base_energy = base.geomean_energy_uj();
+    println!("{:<10} {:>12} {:>18}", "config", "wide bus", "8-bit bus");
+    for cfg in CoreConfig::dse_cores() {
+        let wide = evaluate(&cfg, BusWidth::WIDE).expect("evaluates");
+        let narrow = evaluate(&cfg, BusWidth::BYTE).expect("evaluates");
+        let narrow_txt = if narrow.feasible {
+            format!("{:.2}", narrow.geomean_energy_uj() / base_energy)
+        } else {
+            "infeasible".to_string()
+        };
+        println!(
+            "{:<10} {:>12.2} {:>18}",
+            cfg.label(),
+            wide.geomean_energy_uj() / base_energy,
+            narrow_txt,
+        );
+    }
+    println!("\npaper: with integrated program memory the 2-stage load-store core wins;");
+    println!("with the 8-bit bus LS SC/P are impossible and the 2-stage accumulator wins");
+}

@@ -1,0 +1,24 @@
+//! Figure 6: wafer maps of output-error counts at 3 V and 4.5 V.
+//!
+//! `.`/`,` mark functional dies (inclusion / exclusion zone); digits give
+//! the decimal magnitude of the error count.
+
+use flexfab::wafer_run::{CoreDesign, WaferExperiment};
+use flexfab::wafermap;
+
+fn main() {
+    for design in [CoreDesign::FlexiCore4, CoreDesign::FlexiCore8] {
+        let exp = WaferExperiment::published(design);
+        for v in [3.0, 4.5] {
+            let run = exp.run(v, 20_000);
+            flexbench::header(&format!(
+                "Figure 6 — {} at {v} V (yield: full {:.0}%, inclusion {:.0}%)",
+                design.name(),
+                run.yield_full() * 100.0,
+                run.yield_inclusion() * 100.0
+            ));
+            print!("{}", wafermap::error_map(&run));
+        }
+    }
+    println!("\npaper (Table 5): FC4 44/63% full, 55/81% inclusion; FC8 5/42%, 6/57%");
+}

@@ -1,0 +1,37 @@
+//! Figure 7: wafer maps of current draw, plus the §4.2 process-variation
+//! statistics (RSD of 15.3 % / 21.5 % for the 4-bit / 8-bit cores).
+
+use flexfab::calibration::seeds;
+use flexfab::wafer_run::{CoreDesign, WaferExperiment};
+use flexfab::wafermap;
+
+fn main() {
+    for (design, paper_rsd, paper_mean, paper_range) in [
+        (CoreDesign::FlexiCore4, 15.3, 1.1, (0.8, 1.4)),
+        (CoreDesign::FlexiCore8, 21.5, 0.75, (0.60, 1.4)),
+    ] {
+        let exp = WaferExperiment::new(design, seeds::CURRENT);
+        for v in [3.0, 4.5] {
+            let run = exp.run(v, 5_000);
+            let stats = run.current_stats();
+            flexbench::header(&format!(
+                "Figure 7 — {} current draw at {v} V",
+                design.name()
+            ));
+            print!("{}", wafermap::current_map(&run));
+            println!(
+                "functional dies: mean {:.2} mA, range {:.2}..{:.2} mA, RSD {:.1}%",
+                stats.mean_ma,
+                stats.min_ma,
+                stats.max_ma,
+                stats.rsd * 100.0
+            );
+            if (v - 4.5).abs() < 1e-9 {
+                println!(
+                    "paper at 4.5 V: mean {paper_mean} mA, range {}..{} mA, RSD {paper_rsd}%",
+                    paper_range.0, paper_range.1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 8: latency and energy of the benchmark kernels on FlexiCore4
+//! (paper: 4.28–12.9 ms and 21.0–61.4 µJ at 360 nJ/instruction).
+//!
+//! Latency/energy is averaged over the input space — exhaustively where
+//! the space is small, randomly sampled otherwise, as in §5.2. Streaming
+//! kernels are reported per input.
+
+use flexasm::Target;
+use flexicore::energy::{EnergyModel, EnergyReport};
+use flexkernels::harness::measure;
+use flexkernels::inputs::{exhaustive_cases, Sampler};
+use flexkernels::{Kernel, STREAM_LEN};
+
+/// Random cases drawn for kernels with large input spaces.
+const SAMPLED_CASES: usize = 64;
+/// Exhaustive spaces are truncated to this many cases to keep the run
+/// pleasant; the sampling is deterministic (a fixed stride).
+const MAX_EXHAUSTIVE: usize = 512;
+
+fn main() {
+    flexbench::header("Figure 8 — FlexiCore4 kernel latency and energy");
+    let model = EnergyModel::flexicore4_measured();
+    println!(
+        "{:<15} {:>8} {:>12} {:>12} {:>8}",
+        "kernel", "cases", "latency ms", "energy µJ", "insns"
+    );
+    for k in Kernel::ALL {
+        let cases = match exhaustive_cases(k) {
+            Some(all) => {
+                let stride = (all.len() / MAX_EXHAUSTIVE).max(1);
+                all.into_iter().step_by(stride).collect::<Vec<_>>()
+            }
+            None => Sampler::new(k, 0x0F16_0008).draw_many(SAMPLED_CASES),
+        };
+        let stats = measure(k, Target::fc4(), &cases).expect("kernels verify");
+        let per = if k.is_streaming() {
+            STREAM_LEN as f64
+        } else {
+            1.0
+        };
+        let report = EnergyReport::from_counts(
+            &model,
+            (stats.mean_instructions / per) as u64,
+            (stats.mean_cycles / per) as u64,
+        );
+        println!(
+            "{:<15} {:>8} {:>12.2} {:>12.2} {:>8.0}",
+            k.name(),
+            stats.cases,
+            report.latency_ms,
+            report.energy_uj,
+            stats.mean_instructions / per,
+        );
+    }
+    println!(
+        "\npaper range: 4.28–12.9 ms, 21.0–61.4 µJ (their kernels are larger; see EXPERIMENTS.md)"
+    );
+}

@@ -1,0 +1,89 @@
+//! Table 4: comparison of the fabricated FlexiCores — area, power, yield,
+//! device count, clock.
+
+use flexfab::wafer_run::{CoreDesign, WaferExperiment};
+use flexgate::report::Report;
+use flexgate::timing::{analyze, DelayModel};
+
+struct PaperRow {
+    area_mm2: f64,
+    mean_power_mw: f64,
+    yield_pct: Option<f64>,
+    devices: u32,
+    datapath: u32,
+}
+
+fn main() {
+    flexbench::header("Table 4 — FlexiCore4 / FlexiCore8 / FlexiCore4+");
+    let rows = [
+        (
+            CoreDesign::FlexiCore4,
+            PaperRow {
+                area_mm2: 5.56,
+                mean_power_mw: 4.9,
+                yield_pct: Some(81.0),
+                devices: 2104,
+                datapath: 4,
+            },
+        ),
+        (
+            CoreDesign::FlexiCore8,
+            PaperRow {
+                area_mm2: 6.05,
+                mean_power_mw: 3.9,
+                yield_pct: Some(57.0),
+                devices: 2335,
+                datapath: 8,
+            },
+        ),
+        (
+            CoreDesign::FlexiCore4Plus,
+            PaperRow {
+                area_mm2: 6.4,
+                mean_power_mw: 3.4,
+                yield_pct: None,
+                devices: 2420,
+                datapath: 4,
+            },
+        ),
+    ];
+    println!(
+        "{:<13} {:>16} {:>18} {:>14} {:>16} {:>12} {:>9}",
+        "core",
+        "area mm²(p/ours)",
+        "power mW(p/ours)",
+        "yield(p/ours)",
+        "devices(p/ours)",
+        "fmax kHz",
+        "datapath"
+    );
+    for (design, paper) in rows {
+        let netlist = design.netlist();
+        let report = Report::of(&netlist);
+        let path = analyze(&netlist)
+            .expect("valid netlist")
+            .critical_path_units;
+        let m = DelayModel::igzo();
+        let exp = WaferExperiment::published(design);
+        let run = exp.run(4.5, 20_000);
+        let yield_ours = run.yield_inclusion() * 100.0;
+        let power_ours = run.current_stats().mean_ma * 4.5;
+        println!(
+            "{:<13} {:>7.2}/{:<8.2} {:>8.1}/{:<9.2} {:>6}/{:<7} {:>7}/{:<8} {:>12.1} {:>9}",
+            design.name(),
+            paper.area_mm2,
+            report.total.area_mm2(),
+            paper.mean_power_mw,
+            power_ours,
+            paper
+                .yield_pct
+                .map_or("n/a".to_string(), |y| format!("{y:.0}%")),
+            format!("{yield_ours:.0}%"),
+            paper.devices,
+            report.total.devices,
+            m.fmax_hz(path, 4.5, m.vth_nom) / 1000.0,
+            paper.datapath,
+        );
+    }
+    println!("\n(paper clock: 12.5 kHz test limit on all cores; fmax above is the nominal die's timing limit)");
+}

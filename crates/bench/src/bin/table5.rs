@@ -1,0 +1,34 @@
+//! Table 5: yield for FlexiCore4 and FlexiCore8 at 3 V and 4.5 V, full
+//! wafer and inclusion zone.
+
+use flexfab::wafer_run::{CoreDesign, WaferExperiment};
+
+/// Paper yields per design: full-wafer % at (3 V, 4.5 V) and inclusion %
+/// at (3 V, 4.5 V).
+type PaperYields = (CoreDesign, (f64, f64), (f64, f64));
+
+const PAPER: &[PaperYields] = &[
+    (CoreDesign::FlexiCore4, (44.0, 63.0), (55.0, 81.0)),
+    (CoreDesign::FlexiCore8, (5.0, 42.0), (6.0, 57.0)),
+];
+
+fn main() {
+    flexbench::header("Table 5 — wafer yield (full / inclusion zone)");
+    println!(
+        "{:<12} {:>6} {:>18} {:>22}",
+        "core", "V", "full (paper/ours)", "inclusion (paper/ours)"
+    );
+    for &(design, full, inc) in PAPER {
+        let exp = WaferExperiment::published(design);
+        for (v, p_full, p_inc) in [(3.0, full.0, inc.0), (4.5, full.1, inc.1)] {
+            let run = exp.run(v, 50_000);
+            println!(
+                "{:<12} {:>6} {:>17} {:>22}",
+                design.name(),
+                v,
+                format!("{p_full:.0}% / {:.0}%", run.yield_full() * 100.0),
+                format!("{p_inc:.0}% / {:.0}%", run.yield_inclusion() * 100.0),
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Table 6: static instruction counts of the benchmark kernels.
+
+use flexasm::Target;
+use flexkernels::Kernel;
+
+fn main() {
+    flexbench::header("Table 6 — benchmark static instructions (FlexiCore4)");
+    println!(
+        "{:<15} {:>8} {:>8} {:>10}",
+        "kernel", "paper", "ours", "type"
+    );
+    for k in Kernel::ALL {
+        let asm = k.assemble(Target::fc4()).expect("kernels assemble");
+        let kind = if k.is_streaming() {
+            "streaming"
+        } else if k == Kernel::Calculator {
+            "interactive"
+        } else {
+            "reactive"
+        };
+        println!(
+            "{:<15} {:>8} {:>8} {:>10}",
+            k.name(),
+            k.paper_static_instructions(),
+            asm.static_instructions(),
+            kind,
+        );
+    }
+}

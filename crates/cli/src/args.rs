@@ -1,0 +1,268 @@
+//! Minimal flag parsing (no external dependencies).
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// CLI failure modes.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad invocation: unknown command/flag, missing argument, bad value.
+    Usage(String),
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// The assembler rejected the source.
+    Asm(flexasm::AsmError),
+    /// The simulator faulted or a kernel failed verification.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Asm(e) => write!(f, "assembly error: {e}"),
+            CliError::Run(m) => write!(f, "run error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<flexasm::AsmError> for CliError {
+    fn from(e: flexasm::AsmError) -> Self {
+        CliError::Asm(e)
+    }
+}
+
+/// Parsed `--flag value` pairs, boolean `--flag`s, and positionals.
+#[derive(Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, Option<String>>,
+    consumed: std::collections::BTreeSet<String>,
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["listing", "trace"];
+
+impl Args {
+    /// Parse raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for a value-taking flag with no value.
+    pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        let mut args = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    args.flags.insert(name.to_string(), None);
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
+                    args.flags.insert(name.to_string(), Some(value.clone()));
+                }
+            } else {
+                args.positionals.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `n`-th positional argument.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] naming `what` when missing.
+    pub fn positional(&self, n: usize, what: &str) -> Result<&str, CliError> {
+        self.positionals
+            .get(n)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing {what}")))
+    }
+
+    /// A string flag value, if given.
+    pub fn flag(&mut self, name: &str) -> Option<String> {
+        self.consumed.insert(name.to_string());
+        self.flags.get(name).cloned().flatten()
+    }
+
+    /// A boolean flag.
+    pub fn has(&mut self, name: &str) -> bool {
+        self.consumed.insert(name.to_string());
+        self.flags.contains_key(name)
+    }
+
+    /// A parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad value for --{name}: `{v}`"))),
+        }
+    }
+
+    /// Comma-separated u8 list (`--input 1,2,3`).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for unparsable entries.
+    pub fn u8_list(&mut self, name: &str) -> Result<Vec<u8>, CliError> {
+        match self.flag(name) {
+            None => Ok(Vec::new()),
+            Some(v) => v
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    let s = s.trim();
+                    if let Some(hex) = s.strip_prefix("0x") {
+                        u8::from_str_radix(hex, 16)
+                    } else {
+                        s.parse()
+                    }
+                    .map_err(|_| CliError::Usage(format!("bad value in --{name}: `{s}`")))
+                })
+                .collect(),
+        }
+    }
+
+    /// Reject unrecognised flags (call after a command consumed its own).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] naming the stray flag.
+    pub fn finish(&self) -> Result<(), CliError> {
+        for name in self.flags.keys() {
+            if !self.consumed.contains(name) {
+                return Err(CliError::Usage(format!("unknown flag --{name}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve `--target`/`--features` into an assembler target.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for unknown names.
+    pub fn target(&mut self) -> Result<flexasm::Target, CliError> {
+        use flexicore::isa::features::{Feature, FeatureSet};
+        let features = match self.flag("features") {
+            None => FeatureSet::BASE,
+            Some(list) if list == "revised" => FeatureSet::revised(),
+            Some(list) => {
+                let mut set = FeatureSet::BASE;
+                for item in list.split(',').filter(|s| !s.is_empty()) {
+                    let feature = match item.trim() {
+                        "adc" => Feature::AddWithCarry,
+                        "shift" => Feature::BarrelShifter,
+                        "flags" => Feature::BranchFlags,
+                        "mul" => Feature::Multiplier,
+                        "xch" => Feature::AccExchange,
+                        "call" => Feature::Subroutines,
+                        "2xreg" => Feature::DoubleRegfile,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown feature `{other}` (adc, shift, flags, mul, xch, call, 2xreg, revised)"
+                            )))
+                        }
+                    };
+                    set = set.with(feature);
+                }
+                set
+            }
+        };
+        match self.flag("target").as_deref().unwrap_or("fc4") {
+            "fc4" => Ok(flexasm::Target::fc4()),
+            "fc8" => Ok(flexasm::Target::fc8()),
+            "xacc" => Ok(flexasm::Target::xacc(features)),
+            "xls" => Ok(flexasm::Target::xls(features)),
+            other => Err(CliError::Usage(format!(
+                "unknown target `{other}` (fc4, fc8, xacc, xls)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> Args {
+        Args::parse(&items.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let mut a = parse(&["prog.s", "--target", "fc8", "--listing"]);
+        assert_eq!(a.positional(0, "source").unwrap(), "prog.s");
+        assert_eq!(a.flag("target").as_deref(), Some("fc8"));
+        assert!(a.has("listing"));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_value_is_a_usage_error() {
+        let err = Args::parse(&["--target".to_string()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn u8_list_parses_decimal_and_hex() {
+        let mut a = parse(&["--input", "1,0xA, 3"]);
+        assert_eq!(a.u8_list("input").unwrap(), vec![1, 0xA, 3]);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_at_finish() {
+        let mut a = parse(&["--bogus", "1"]);
+        let _ = a.flag("target");
+        assert!(matches!(a.finish(), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn target_resolution() {
+        let mut a = parse(&["--target", "xacc", "--features", "adc,shift"]);
+        let t = a.target().unwrap();
+        assert_eq!(t.dialect, flexicore::isa::Dialect::ExtendedAcc);
+        assert!(t
+            .features
+            .contains(flexicore::isa::features::Feature::AddWithCarry));
+        assert!(!t
+            .features
+            .contains(flexicore::isa::features::Feature::Multiplier));
+
+        let mut a = parse(&["--target", "xls", "--features", "revised"]);
+        assert_eq!(a.target().unwrap(), flexasm::Target::xls_revised());
+
+        let mut a = parse(&[]);
+        assert_eq!(a.target().unwrap(), flexasm::Target::fc4());
+
+        let mut a = parse(&["--features", "warp-drive"]);
+        assert!(a.target().is_err());
+    }
+
+    #[test]
+    fn num_parses_with_default() {
+        let mut a = parse(&["--cycles", "500"]);
+        assert_eq!(a.num("cycles", 10u64).unwrap(), 500);
+        assert_eq!(a.num("seed", 7u64).unwrap(), 7);
+        let mut b = parse(&["--cycles", "many"]);
+        assert!(b.num("cycles", 10u64).is_err());
+    }
+}

@@ -1,0 +1,532 @@
+//! The `flexi` subcommands. Each returns its output as a `String`.
+
+use crate::args::{Args, CliError};
+use flexasm::{Assembler, Target};
+use flexicore::io::{InputPort, OutputPort, RecordingOutput, ScriptedInput};
+use flexicore::isa::Dialect;
+use flexicore::program::Program;
+use flexicore::sim::RunResult;
+use std::fmt::Write as _;
+
+/// The help text.
+#[must_use]
+pub fn usage() -> String {
+    "\
+flexi — FlexiCores toolbox (ISCA 2022 reproduction)
+
+commands:
+  asm     <file.s> [--target T] [--features F,..] [--out prog.bin] [--listing]
+  disasm  <prog.bin> [--target T]
+  run     <file.s> [--target T] [--features F,..] [--input 1,2,..]
+                   [--max-cycles N] [--trace]
+  cosim   <file.s> [--target fc4|fc8] [--input N] [--cycles N]
+  kernels [--target T] [--features F,..]
+  kernel  <name> --input 1,2,.. [--target T] [--features F,..]
+  wave    <file.s> [--target fc4|fc8] [--input N] [--cycles N] [--out trace.vcd]
+  wafer   [--design fc4|fc8|fc4plus] [--voltage V] [--seed N] [--cycles N]
+          [--map errors|current|csv]
+  dse
+  help
+
+targets: fc4 (default), fc8, xacc, xls
+features (xacc/xls): adc, shift, flags, mul, xch, call, 2xreg — or `revised`
+"
+    .to_string()
+}
+
+/// `flexi asm` — assemble a source file.
+///
+/// # Errors
+///
+/// Usage, IO or assembly errors.
+pub fn asm(args: &mut Args) -> Result<String, CliError> {
+    let path = args.positional(0, "source file").map(str::to_string)?;
+    let target = args.target()?;
+    let source = std::fs::read_to_string(&path)?;
+    let assembly = Assembler::new(target).assemble(&source)?;
+    let mut out = format!(
+        "{path}: {} instructions, {} bytes ({} bits) for {} [{}]\n",
+        assembly.static_instructions(),
+        assembly.code_bytes(),
+        assembly.code_bits(),
+        target.dialect,
+        target.features,
+    );
+    if args.has("listing") {
+        out.push_str(&assembly.listing_text());
+    }
+    if let Some(dest) = args.flag("out") {
+        std::fs::write(&dest, assembly.program().as_bytes())?;
+        let _ = writeln!(out, "wrote {} bytes to {dest}", assembly.program().len());
+    }
+    Ok(out)
+}
+
+/// `flexi disasm` — disassemble a binary image.
+///
+/// # Errors
+///
+/// Usage or IO errors.
+pub fn disasm(args: &mut Args) -> Result<String, CliError> {
+    let path = args.positional(0, "binary file").map(str::to_string)?;
+    let target = args.target()?;
+    let bytes = std::fs::read(&path)?;
+    let program = Program::from_bytes(bytes);
+    Ok(flexasm::disasm::disassemble_text(target.dialect, &program))
+}
+
+/// `flexi run` — assemble and execute on the matching simulator.
+///
+/// # Errors
+///
+/// Usage, IO, assembly or simulation errors.
+pub fn run(args: &mut Args) -> Result<String, CliError> {
+    let path = args.positional(0, "source file").map(str::to_string)?;
+    let target = args.target()?;
+    let inputs = args.u8_list("input")?;
+    let max_cycles = args.num("max-cycles", 1_000_000u64)?;
+    let trace = args.has("trace");
+
+    let source = std::fs::read_to_string(&path)?;
+    let assembly = Assembler::new(target).assemble(&source)?;
+    let program = assembly.into_program();
+    let mut input = ScriptedInput::new(inputs);
+    let mut output = RecordingOutput::new();
+    let (result, trace_text) = execute(target, program, &mut input, &mut output, max_cycles, trace)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+
+    let mut out = String::new();
+    if trace {
+        out.push_str(&trace_text);
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} instructions, {} cycles, {} taken branches",
+        if result.halted() {
+            "halted"
+        } else {
+            "cycle limit"
+        },
+        result.instructions,
+        result.cycles,
+        result.taken_branches,
+    );
+    let values: Vec<String> = output.values().iter().map(|v| format!("{v:#x}")).collect();
+    let _ = writeln!(out, "output port: [{}]", values.join(", "));
+    Ok(out)
+}
+
+/// `flexi cosim` — run a program on both the ISA model and the gate-level
+/// netlist and report equivalence.
+///
+/// # Errors
+///
+/// Usage, IO, or assembly errors; a mismatch is reported in the output,
+/// not as an error.
+pub fn cosim(args: &mut Args) -> Result<String, CliError> {
+    let path = args.positional(0, "source file").map(str::to_string)?;
+    let target = args.target()?;
+    let input = args.num("input", 0u8)?;
+    let cycles = args.num("cycles", 10_000u64)?;
+    let source = std::fs::read_to_string(&path)?;
+    let assembly = Assembler::new(target).assemble(&source)?;
+    let mut fixed = flexicore::io::ConstInput::new(input);
+    let result = match target.dialect {
+        Dialect::Fc4 => {
+            let netlist = flexrtl::build_fc4();
+            flexrtl::cosim::cosim_fc4(&netlist, assembly.program(), &mut fixed, cycles)
+        }
+        Dialect::Fc8 => {
+            let netlist = flexrtl::build_fc8();
+            flexrtl::cosim::cosim_fc8(&netlist, assembly.program(), &mut fixed, cycles)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "cosim supports the fabricated dialects fc4/fc8, not {other}"
+            )))
+        }
+    };
+    Ok(if result.is_equivalent() {
+        format!(
+            "equivalent: RTL matched the ISA model on all {} cycles\n",
+            result.cycles
+        )
+    } else {
+        format!("MISMATCH: {:?}\n", result.mismatches)
+    })
+}
+
+/// `flexi wave` — run a program on the gate-level netlist and dump a VCD
+/// waveform of its ports.
+///
+/// # Errors
+///
+/// Usage, IO or assembly errors.
+pub fn wave(args: &mut Args) -> Result<String, CliError> {
+    let path = args.positional(0, "source file").map(str::to_string)?;
+    let target = args.target()?;
+    let input = args.num("input", 0u8)?;
+    let cycles = args.num("cycles", 500u64)?;
+    let dest = args.flag("out").unwrap_or_else(|| "trace.vcd".to_string());
+
+    let source = std::fs::read_to_string(&path)?;
+    let assembly = Assembler::new(target).assemble(&source)?;
+    let netlist = match target.dialect {
+        Dialect::Fc4 => flexrtl::build_fc4(),
+        Dialect::Fc8 => flexrtl::build_fc8(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "wave supports the fabricated dialects fc4/fc8, not {other}"
+            )))
+        }
+    };
+    let mut sim = flexgate::sim::BatchSim::new(&netlist).expect("core netlists are well-formed");
+    sim.reset();
+    let mut vcd = flexgate::vcd::VcdRecorder::new(&netlist, &["instr", "iport", "pc", "oport"]);
+    let program = assembly.program();
+    let mut sampled = 0u64;
+    for _ in 0..cycles {
+        let pc = sim.output_value("pc", 0) as u32;
+        let Some(byte) = program.fetch(pc) else { break };
+        sim.set_input_value("instr", u64::from(byte), !0);
+        sim.set_input_value("iport", u64::from(input), !0);
+        sim.clock();
+        sim.settle();
+        vcd.sample(&sim);
+        sampled += 1;
+    }
+    std::fs::write(&dest, vcd.render("flexicore"))?;
+    Ok(format!(
+        "wrote {sampled} cycles of instr/iport/pc/oport to {dest}
+"
+    ))
+}
+
+/// `flexi kernels` — list the benchmark kernels for a target.
+///
+/// # Errors
+///
+/// Usage or assembly errors.
+pub fn kernels(args: &mut Args) -> Result<String, CliError> {
+    let target = args.target()?;
+    let mut out = format!(
+        "{:<15} {:>8} {:>8} {:>8}  inputs\n",
+        "kernel", "insns", "bytes", "paper"
+    );
+    for k in flexkernels::Kernel::ALL {
+        let assembly = k.assemble(target)?;
+        let _ = writeln!(
+            out,
+            "{:<15} {:>8} {:>8} {:>8}  {}",
+            k.name(),
+            assembly.static_instructions(),
+            assembly.code_bytes(),
+            k.paper_static_instructions(),
+            k.inputs_per_run(),
+        );
+    }
+    Ok(out)
+}
+
+/// `flexi kernel <name>` — run one kernel with explicit inputs, verified
+/// against its oracle.
+///
+/// # Errors
+///
+/// Usage errors, or [`CliError::Run`] when the kernel fails verification.
+pub fn kernel(args: &mut Args) -> Result<String, CliError> {
+    let name = args.positional(0, "kernel name").map(str::to_string)?;
+    let target = args.target()?;
+    let inputs = args.u8_list("input")?;
+    let kernel = flexkernels::Kernel::ALL
+        .into_iter()
+        .find(|k| {
+            k.name().eq_ignore_ascii_case(&name)
+                || k.name().to_lowercase().replace([' ', '-'], "") == name.to_lowercase()
+        })
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown kernel `{name}`; see `flexi kernels` for the list"
+            ))
+        })?;
+    if inputs.len() < kernel.inputs_per_run() {
+        return Err(CliError::Usage(format!(
+            "{} needs {} input values (--input), got {}",
+            kernel.name(),
+            kernel.inputs_per_run(),
+            inputs.len()
+        )));
+    }
+    let run = kernel
+        .run(target, &inputs)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let payload: Vec<String> = run.outputs.iter().map(|v| format!("{v:#x}")).collect();
+    Ok(format!(
+        "{}: verified against oracle\noutputs: [{}]\n{} instructions, {} cycles\n",
+        kernel.name(),
+        payload.join(", "),
+        run.result.instructions,
+        run.result.cycles,
+    ))
+}
+
+/// `flexi wafer` — fabricate and test a virtual wafer.
+///
+/// # Errors
+///
+/// Usage errors.
+pub fn wafer(args: &mut Args) -> Result<String, CliError> {
+    use flexfab::wafer_run::{CoreDesign, WaferExperiment};
+    let design = match args.flag("design").as_deref().unwrap_or("fc4") {
+        "fc4" => CoreDesign::FlexiCore4,
+        "fc8" => CoreDesign::FlexiCore8,
+        "fc4plus" | "fc4+" => CoreDesign::FlexiCore4Plus,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown design `{other}` (fc4, fc8, fc4plus)"
+            )))
+        }
+    };
+    let voltage = args.num("voltage", 4.5f64)?;
+    let seed = args.num("seed", flexfab::calibration::seeds::YIELD)?;
+    let cycles = args.num("cycles", 10_000u64)?;
+    let map = args.flag("map").unwrap_or_else(|| "errors".to_string());
+
+    let exp = WaferExperiment::new(design, seed);
+    let run = exp.run(voltage, cycles);
+    let mut out = format!(
+        "{} wafer, seed {seed:#x}, {} dies, tested at {voltage} V with {} vectors/die\n",
+        design.name(),
+        exp.layout().die_count(),
+        cycles
+    );
+    match map.as_str() {
+        "errors" => out.push_str(&flexfab::wafermap::error_map(&run)),
+        "current" => out.push_str(&flexfab::wafermap::current_map(&run)),
+        "csv" => out.push_str(&flexfab::wafermap::to_csv(&run)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown map `{other}` (errors, current, csv)"
+            )))
+        }
+    }
+    let stats = run.current_stats();
+    let _ = writeln!(
+        out,
+        "yield: {:.0}% full / {:.0}% inclusion; current mean {:.2} mA, RSD {:.1}%",
+        run.yield_full() * 100.0,
+        run.yield_inclusion() * 100.0,
+        stats.mean_ma,
+        stats.rsd * 100.0,
+    );
+    Ok(out)
+}
+
+/// `flexi dse` — print the §6 summary.
+///
+/// # Errors
+///
+/// [`CliError::Run`] if the population fails to evaluate.
+pub fn dse(_args: &mut Args) -> Result<String, CliError> {
+    let summary = flexdse::pareto::summarize().map_err(|e| CliError::Run(e.to_string()))?;
+    let base = &summary.population[0];
+    let mut out = format!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12}\n",
+        "config", "area", "fmax kHz", "time (rel)", "energy (rel)"
+    );
+    for r in &summary.population {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10.0} {:>10.1} {:>12.2} {:>12.2}",
+            if r.config.features.is_base() {
+                "FC4 base".to_string()
+            } else {
+                r.config.label()
+            },
+            r.cost.area_nand2,
+            r.cost.fmax_hz(4.5) / 1000.0,
+            r.geomean_time_ms() / base.geomean_time_ms(),
+            r.geomean_energy_uj() / base.geomean_energy_uj(),
+        );
+    }
+    Ok(out)
+}
+
+fn execute<I: InputPort, O: OutputPort>(
+    target: Target,
+    program: Program,
+    input: &mut I,
+    output: &mut O,
+    max_cycles: u64,
+    trace: bool,
+) -> Result<(RunResult, String), flexicore::SimError> {
+    use flexicore::sim::{fc4::Fc4Core, fc8::Fc8Core, xacc::XaccCore, xls::XlsCore};
+
+    // trace by stepping; otherwise run whole
+    macro_rules! drive {
+        ($core:expr) => {{
+            let mut core = $core;
+            let mut text = String::new();
+            if trace {
+                while !core.is_halted() && core.instructions() < max_cycles {
+                    let ev = core.step(input, output)?;
+                    let _ = writeln!(
+                        text,
+                        "cycle {:>6}  addr {:#06x}  acc {:#03x}  pc -> {:#04x}{}",
+                        ev.cycle,
+                        ev.address,
+                        ev.acc,
+                        ev.next_pc,
+                        if ev.taken_branch { "  (taken)" } else { "" }
+                    );
+                }
+            }
+            let r = core.run(input, output, max_cycles)?;
+            Ok((r, text))
+        }};
+    }
+
+    match target.dialect {
+        Dialect::Fc4 => drive!(Fc4Core::new(program)),
+        Dialect::Fc8 => drive!(Fc8Core::new(program)),
+        Dialect::ExtendedAcc => drive!(XaccCore::new(target.features, program)),
+        Dialect::LoadStore => drive!(XlsCore::new(target.features, program)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dispatch;
+
+    fn call(args: &[&str]) -> Result<String, crate::CliError> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("flexi_test_{name}_{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const ADD3: &str = "load r0\naddi 3\nstore r1\nhalt\n";
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = call(&[]).unwrap();
+        assert!(out.contains("flexi"));
+        assert!(out.contains("wafer"));
+    }
+
+    #[test]
+    fn asm_reports_sizes_and_listing() {
+        let src = write_temp("asm", ADD3);
+        let out = call(&["asm", &src, "--listing"]).unwrap();
+        assert!(out.contains("5 instructions"), "{out}");
+        assert!(out.contains("load r0"), "{out}");
+    }
+
+    #[test]
+    fn asm_roundtrips_through_disasm() {
+        let src = write_temp("rt", ADD3);
+        let bin = write_temp("rt_bin", "");
+        call(&["asm", &src, "--out", &bin]).unwrap();
+        let out = call(&["disasm", &bin]).unwrap();
+        assert!(out.contains("addi 3"), "{out}");
+    }
+
+    #[test]
+    fn run_executes_and_prints_output_port() {
+        let src = write_temp("run", ADD3);
+        let out = call(&["run", &src, "--input", "4"]).unwrap();
+        assert!(out.contains("halted"), "{out}");
+        assert!(out.contains("0x7"), "{out}");
+    }
+
+    #[test]
+    fn run_with_trace_lists_cycles() {
+        let src = write_temp("trace", ADD3);
+        let out = call(&["run", &src, "--input", "1", "--trace"]).unwrap();
+        assert!(out.contains("cycle"), "{out}");
+        assert!(out.contains("(taken)"), "{out}");
+    }
+
+    #[test]
+    fn cosim_reports_equivalence() {
+        let src = write_temp("cosim", ADD3);
+        let out = call(&["cosim", &src, "--input", "2"]).unwrap();
+        assert!(out.contains("equivalent"), "{out}");
+    }
+
+    #[test]
+    fn kernels_lists_all_seven() {
+        let out = call(&["kernels"]).unwrap();
+        for name in ["Calculator", "XorShift8", "Thresholding"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn kernel_runs_verified() {
+        let out = call(&["kernel", "paritycheck", "--input", "1,0"]).unwrap();
+        assert!(out.contains("verified"), "{out}");
+        assert!(out.contains("[0x1]"), "{out}");
+    }
+
+    #[test]
+    fn kernel_rejects_short_input() {
+        let err = call(&["kernel", "calculator", "--input", "1"]).unwrap_err();
+        assert!(err.to_string().contains("needs 3"), "{err}");
+    }
+
+    #[test]
+    fn wafer_prints_map_and_yield() {
+        let out = call(&["wafer", "--cycles", "300"]).unwrap();
+        assert!(out.contains("yield:"), "{out}");
+        assert!(out.contains('.'), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_and_flags_fail() {
+        assert!(call(&["frobnicate"]).is_err());
+        let src = write_temp("uf", ADD3);
+        assert!(call(&["asm", &src, "--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn run_on_extended_target() {
+        let src = write_temp("ext", "load r0\nlsri 2\nstore r1\nhalt\n");
+        let out = call(&[
+            "run",
+            &src,
+            "--target",
+            "xacc",
+            "--features",
+            "revised",
+            "--input",
+            "12",
+        ])
+        .unwrap();
+        assert!(out.contains("0x3"), "{out}");
+    }
+
+    #[test]
+    fn wave_writes_a_vcd() {
+        let src = write_temp("wave", ADD3);
+        let out_path = std::env::temp_dir().join(format!("flexi_wave_{}.vcd", std::process::id()));
+        let out = call(&[
+            "wave",
+            &src,
+            "--input",
+            "3",
+            "--cycles",
+            "20",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let vcd = std::fs::read_to_string(&out_path).unwrap();
+        assert!(vcd.contains("$var wire 7 "), "{vcd}");
+        assert!(vcd.contains("oport"), "{vcd}");
+    }
+}

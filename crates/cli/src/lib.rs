@@ -1,0 +1,64 @@
+//! # flexcli
+//!
+//! Implementation of the `flexi` command-line tool. The binary is a thin
+//! wrapper; all command logic lives here and returns strings, so every
+//! command is unit-testable.
+//!
+//! ```text
+//! flexi asm     <file.s> [--target T] [--features F,..] [--out prog.bin] [--listing]
+//! flexi disasm  <prog.bin> [--target T]
+//! flexi run     <file.s> [--target T] [--features F,..] [--input 1,2,..]
+//!                        [--max-cycles N] [--trace]
+//! flexi cosim   <file.s> [--target fc4|fc8] [--input N] [--cycles N]
+//! flexi wave    <file.s> [--target fc4|fc8] [--input N] [--cycles N]
+//!                        [--out trace.vcd]
+//! flexi kernels [--target T] [--features F,..]
+//! flexi kernel  <name> --input 1,2,.. [--target T]
+//! flexi wafer   [--design fc4|fc8|fc4plus] [--voltage V] [--seed N]
+//!               [--cycles N] [--map errors|current|csv]
+//! flexi dse
+//! ```
+//!
+//! Targets: `fc4` (default), `fc8`, `xacc`, `xls`; `--features` applies to
+//! the DSE dialects (`adc,shift,flags,mul,xch,call,2xreg` or `revised`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+
+/// Entry point shared by the binary and the tests: dispatch `argv`
+/// (without the program name) and return the output text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed flags, file
+/// problems, assembly failures, and simulator faults.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Ok(commands::usage());
+    };
+    let mut args = Args::parse(rest)?;
+    let out = match command.as_str() {
+        "asm" => commands::asm(&mut args)?,
+        "disasm" => commands::disasm(&mut args)?,
+        "run" => commands::run(&mut args)?,
+        "cosim" => commands::cosim(&mut args)?,
+        "wave" => commands::wave(&mut args)?,
+        "kernels" => commands::kernels(&mut args)?,
+        "kernel" => commands::kernel(&mut args)?,
+        "wafer" => commands::wafer(&mut args)?,
+        "dse" => commands::dse(&mut args)?,
+        "help" | "--help" | "-h" => commands::usage(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown command `{other}`; run `flexi help`"
+            )))
+        }
+    };
+    args.finish()?;
+    Ok(out)
+}

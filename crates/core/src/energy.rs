@@ -1,0 +1,310 @@
+//! Energy and battery-life models (§3.1, §5.2).
+//!
+//! In 0.8 µm IGZO more than 99 % of power is *static* (§3.1), so energy is
+//! simply `P_static × T`. The paper also quotes a measured figure of
+//! **360 nJ per instruction** for FlexiCore4 at 12.5 kHz, which is the same
+//! model expressed per instruction (4.5 mW / 12.5 kHz = 360 nJ). Both forms
+//! are provided.
+//!
+//! [`BatteryModel`] reproduces the §5.2 deployment estimate: an
+//! IIR-filter-plus-thresholding duty cycle of one input per second consumes
+//! 3.6 J/day with perfect power gating, running two weeks on a commercial
+//! 3 V, 5 mAh flexible battery.
+
+/// The paper's measured FlexiCore4 energy per instruction, in nanojoules.
+pub const FLEXICORE4_NJ_PER_INSN: f64 = 360.0;
+
+/// The fabricated FlexiCores' clock frequency in hertz.
+pub const FLEXICORE_CLOCK_HZ: f64 = 12_500.0;
+
+/// An energy model for a core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnergyModel {
+    /// Fixed energy per retired instruction (nanojoules). Matches how the
+    /// paper reports kernel measurements (Figure 8's 360 nJ/instruction).
+    PerInstruction {
+        /// Nanojoules consumed per instruction.
+        nanojoules: f64,
+    },
+    /// Static power integrated over runtime. `power_mw` at clock `clock_hz`;
+    /// energy = `power × cycles / clock`.
+    StaticPower {
+        /// Static power draw in milliwatts.
+        power_mw: f64,
+        /// Clock frequency in hertz.
+        clock_hz: f64,
+    },
+}
+
+impl EnergyModel {
+    /// The measured FlexiCore4 model (360 nJ/instruction).
+    #[must_use]
+    pub fn flexicore4_measured() -> EnergyModel {
+        EnergyModel::PerInstruction {
+            nanojoules: FLEXICORE4_NJ_PER_INSN,
+        }
+    }
+
+    /// Energy in microjoules for a run of `instructions` retired over
+    /// `cycles` clocks.
+    ///
+    /// For [`EnergyModel::PerInstruction`] only `instructions` matters; for
+    /// [`EnergyModel::StaticPower`] only `cycles`.
+    #[must_use]
+    pub fn microjoules(&self, instructions: u64, cycles: u64) -> f64 {
+        match *self {
+            EnergyModel::PerInstruction { nanojoules } => {
+                instructions as f64 * nanojoules / 1_000.0
+            }
+            EnergyModel::StaticPower { power_mw, clock_hz } => {
+                // mW * s = mJ; ×1000 -> µJ
+                power_mw * (cycles as f64 / clock_hz) * 1_000.0
+            }
+        }
+    }
+
+    /// Latency in milliseconds for `cycles` clocks at this model's
+    /// frequency (uses [`FLEXICORE_CLOCK_HZ`] for the per-instruction
+    /// model, where one instruction is one cycle on the fabricated chips).
+    #[must_use]
+    pub fn milliseconds(&self, cycles: u64) -> f64 {
+        let hz = match *self {
+            EnergyModel::PerInstruction { .. } => FLEXICORE_CLOCK_HZ,
+            EnergyModel::StaticPower { clock_hz, .. } => clock_hz,
+        };
+        cycles as f64 / hz * 1_000.0
+    }
+}
+
+/// Latency/energy summary for one kernel execution (one row of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Execution latency in milliseconds.
+    pub latency_ms: f64,
+    /// Energy in microjoules.
+    pub energy_uj: f64,
+    /// Dynamic instruction count the numbers derive from.
+    pub instructions: u64,
+}
+
+impl EnergyReport {
+    /// Build a report from architectural counts under `model`.
+    #[must_use]
+    pub fn from_counts(model: &EnergyModel, instructions: u64, cycles: u64) -> EnergyReport {
+        EnergyReport {
+            latency_ms: model.milliseconds(cycles),
+            energy_uj: model.microjoules(instructions, cycles),
+            instructions,
+        }
+    }
+}
+
+/// A battery powering a duty-cycled FlexiCore deployment (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryModel {
+    /// Battery voltage in volts.
+    pub voltage_v: f64,
+    /// Battery capacity in milliamp-hours.
+    pub capacity_mah: f64,
+}
+
+impl BatteryModel {
+    /// The commercial 3 V, 5 mAh flexible battery the paper cites.
+    #[must_use]
+    pub fn flexible_3v_5mah() -> BatteryModel {
+        BatteryModel {
+            voltage_v: 3.0,
+            capacity_mah: 5.0,
+        }
+    }
+
+    /// Total stored energy in joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        // mAh × 3600 s/h / 1000 = Ah·s = coulombs; × V = joules
+        self.capacity_mah * 3.6 * self.voltage_v
+    }
+
+    /// Days of operation for a workload consuming `joules_per_day`,
+    /// assuming perfect power gating between activations.
+    #[must_use]
+    pub fn lifetime_days(&self, joules_per_day: f64) -> f64 {
+        self.energy_j() / joules_per_day
+    }
+}
+
+/// Daily energy of a periodic workload: each activation consumes
+/// `uj_per_activation` and fires `activations_per_second` times per second.
+#[must_use]
+pub fn joules_per_day(uj_per_activation: f64, activations_per_second: f64) -> f64 {
+    uj_per_activation * 1e-6 * activations_per_second * 86_400.0
+}
+
+/// A duty-cycled deployment: the core computes for `active_ms` every
+/// `period_ms`, and is power-gated in between (§5.2 assumes *perfect*
+/// power gating; [`DutyCycle::with_gating_efficiency`] relaxes that).
+///
+/// Since >99 % of 0.8 µm IGZO power is static (§3.1), average power is
+/// just static power × duty ratio plus the residual gated draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Milliseconds of computation per activation.
+    pub active_ms: f64,
+    /// Milliseconds between activation starts.
+    pub period_ms: f64,
+    /// Fraction of static power still drawn while gated (0 = perfect
+    /// gating, the paper's assumption).
+    pub gated_fraction: f64,
+}
+
+impl DutyCycle {
+    /// A perfectly gated duty cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < active_ms <= period_ms`.
+    #[must_use]
+    pub fn new(active_ms: f64, period_ms: f64) -> DutyCycle {
+        assert!(
+            active_ms > 0.0 && active_ms <= period_ms,
+            "activation ({active_ms} ms) must fit in the period ({period_ms} ms)"
+        );
+        DutyCycle {
+            active_ms,
+            period_ms,
+            gated_fraction: 0.0,
+        }
+    }
+
+    /// The same schedule with imperfect gating: `gated_fraction` of the
+    /// core's static power leaks while idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn with_gating_efficiency(self, gated_fraction: f64) -> DutyCycle {
+        assert!((0.0..=1.0).contains(&gated_fraction));
+        DutyCycle {
+            gated_fraction,
+            ..self
+        }
+    }
+
+    /// The active-time fraction.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.active_ms / self.period_ms
+    }
+
+    /// Average power in µW for a core whose static draw is `power_mw`.
+    #[must_use]
+    pub fn average_power_uw(&self, power_mw: f64) -> f64 {
+        let duty = self.ratio();
+        power_mw * 1_000.0 * (duty + (1.0 - duty) * self.gated_fraction)
+    }
+
+    /// Battery lifetime in days on `battery` for a core drawing
+    /// `power_mw` while active.
+    #[must_use]
+    pub fn lifetime_days(&self, power_mw: f64, battery: &BatteryModel) -> f64 {
+        let avg_w = self.average_power_uw(power_mw) * 1e-6;
+        battery.energy_j() / avg_w / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_instruction_matches_static_power_at_nominal() {
+        // 4.5 mW at 12.5 kHz is exactly 360 nJ per (single-cycle) instruction
+        let per = EnergyModel::flexicore4_measured();
+        let stat = EnergyModel::StaticPower {
+            power_mw: 4.5,
+            clock_hz: 12_500.0,
+        };
+        let e1 = per.microjoules(1000, 1000);
+        let e2 = stat.microjoules(1000, 1000);
+        assert!((e1 - e2).abs() < 1e-9, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn figure8_range_reproduced_from_instruction_counts() {
+        // paper: kernels take 4.28 ms to 12.9 ms and 21.0 µJ to 61.4 µJ;
+        // at 12.5 kHz and 360 nJ/insn that corresponds to ~53..161 dynamic
+        // instructions... actually 4.28 ms = 53.5 cycles? No: 4.28 ms ×
+        // 12.5 kHz = 53.5. The shortest kernel retires ~54 instructions.
+        let m = EnergyModel::flexicore4_measured();
+        let rep = EnergyReport::from_counts(&m, 54, 54);
+        assert!((rep.latency_ms - 4.32).abs() < 0.1);
+        assert!((rep.energy_uj - 19.44).abs() < 0.5);
+        let rep = EnergyReport::from_counts(&m, 161, 161);
+        assert!((rep.latency_ms - 12.88).abs() < 0.1);
+        assert!((rep.energy_uj - 57.96).abs() < 1.0);
+    }
+
+    #[test]
+    fn battery_holds_54_joules() {
+        let b = BatteryModel::flexible_3v_5mah();
+        assert!((b.energy_j() - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_deployment_runs_two_weeks() {
+        // §5.2: IIR filter + thresholding once per second = 3.6 J/day,
+        // two weeks on the 54 J battery.
+        let b = BatteryModel::flexible_3v_5mah();
+        let days = b.lifetime_days(3.6);
+        assert!((13.0..17.0).contains(&days), "got {days} days");
+    }
+
+    #[test]
+    fn joules_per_day_scales_linearly() {
+        // 41.7 µJ per activation, once per second ≈ 3.6 J/day
+        let jd = joules_per_day(41.7, 1.0);
+        assert!((jd - 3.6).abs() < 0.01, "got {jd}");
+        assert!((joules_per_day(41.7, 2.0) - 2.0 * jd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_power_latency_uses_model_clock() {
+        let m = EnergyModel::StaticPower {
+            power_mw: 2.0,
+            clock_hz: 25_000.0,
+        };
+        assert!((m.milliseconds(25) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle_average_power() {
+        // 5 ms of 4.5 mW every second, perfectly gated
+        let d = DutyCycle::new(5.0, 1_000.0);
+        let avg = d.average_power_uw(4.5);
+        assert!((avg - 22.5).abs() < 1e-9, "{avg}");
+        // 1 % gating leakage adds ~45 µW × 0.995
+        let leaky = d.with_gating_efficiency(0.01);
+        assert!(leaky.average_power_uw(4.5) > avg);
+    }
+
+    #[test]
+    fn duty_cycle_lifetime_matches_manual_arithmetic() {
+        let battery = BatteryModel::flexible_3v_5mah();
+        let d = DutyCycle::new(5.44, 1_000.0); // the smart-bandage pipeline
+        let days = d.lifetime_days(4.5, &battery);
+        // 54 J / (4.5 mW * 0.00544) / 86400 s
+        let expected = 54.0 / (4.5e-3 * 0.00544) / 86_400.0;
+        assert!((days - expected).abs() / expected < 1e-9);
+        assert!(
+            days > 14.0,
+            "at one sample/s the bandage outlives two weeks: {days}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in the period")]
+    fn overlong_activation_panics() {
+        let _ = DutyCycle::new(2_000.0, 1_000.0);
+    }
+}

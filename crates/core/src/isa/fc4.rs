@@ -1,0 +1,301 @@
+//! The FlexiCore4 instruction set (paper Figure 2a).
+//!
+//! All instructions are exactly eight bits wide. The encoding embeds datapath
+//! control directly in the instruction bits (§3.3):
+//!
+//! * bit 7 — `1` selects the branch format; `0` everything else,
+//! * bit 6 — ALU input multiplexer: `1` = immediate operand, `0` = memory
+//!   operand,
+//! * bits 5:4 — ALU output multiplexer (`00` ADD, `01` NAND, `10` XOR);
+//!   `11` selects the transfer (load/store) format,
+//! * bits 3:0 — immediate, or `0 src[2:0]` memory address.
+//!
+//! ```text
+//! Branch  [ 1 | target:7 ]                    taken iff ACC bit 3 is set
+//! I-Type  [ 0 | 1 | op:2 | imm:4 ]            ACC = ACC op imm
+//! M-Type  [ 0 | 0 | op:2 | 0 | src:3 ]        ACC = ACC op MEM[src]
+//! T-Type  [ 0 | d | 1 1  | 0 | addr:3 ]       d=0 LOAD, d=1 STORE
+//! ```
+//!
+//! **Reconstruction note.** Figure 2a leaves the bit that distinguishes
+//! `LOAD` from `STORE` ambiguous in the scanned text. We place the direction
+//! in bit 6 (`0` = LOAD, `1` = STORE), consistent with bit 6's hardware role:
+//! for a LOAD the datapath passes the *memory* operand through, exactly the
+//! `0 = memory` sense bit 6 already has for M-type instructions. Bit 3 is
+//! fixed to zero in both M- and T-type formats as drawn in the figure.
+//!
+//! The data memory is eight 4-bit words. Addresses 0 and 1 are memory-mapped
+//! to the input and output buses respectively (§3.3), leaving `r2`–`r7` as
+//! general-purpose storage.
+
+use crate::error::DecodeError;
+use crate::isa::AluOp;
+
+/// Number of data-memory words (including the two memory-mapped IO words).
+pub const MEM_WORDS: usize = 8;
+/// Memory address that reads the 4-bit input bus.
+pub const IPORT_ADDR: u8 = 0;
+/// Memory address that drives the 4-bit output bus.
+pub const OPORT_ADDR: u8 = 1;
+/// Width of the program counter in bits; one page is `2^7 = 128` bytes.
+pub const PC_BITS: u32 = 7;
+/// Bytes per program page reachable without the off-chip MMU.
+pub const PAGE_BYTES: usize = 1 << PC_BITS;
+/// Datapath width in bits.
+pub const WIDTH: u32 = 4;
+
+/// A decoded FlexiCore4 instruction.
+///
+/// The nine instructions of Figure 2a: three ALU operations in each of two
+/// addressing modes, `LOAD`, `STORE`, and the conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `ACC = ACC + imm` (two's-complement nibble immediate).
+    AddImm {
+        /// 4-bit immediate (raw nibble; interpreted two's-complement).
+        imm: u8,
+    },
+    /// `ACC = !(ACC & imm)`.
+    NandImm {
+        /// 4-bit immediate.
+        imm: u8,
+    },
+    /// `ACC = ACC ^ imm`.
+    XorImm {
+        /// 4-bit immediate.
+        imm: u8,
+    },
+    /// `ACC = ACC + MEM[src]`.
+    AddMem {
+        /// Memory address 0..8.
+        src: u8,
+    },
+    /// `ACC = !(ACC & MEM[src])`.
+    NandMem {
+        /// Memory address 0..8.
+        src: u8,
+    },
+    /// `ACC = ACC ^ MEM[src]`.
+    XorMem {
+        /// Memory address 0..8.
+        src: u8,
+    },
+    /// `ACC = MEM[addr]` (reading address 0 samples the input bus).
+    Load {
+        /// Memory address 0..8.
+        addr: u8,
+    },
+    /// `MEM[addr] = ACC` (writing address 1 drives the output bus).
+    Store {
+        /// Memory address 0..8.
+        addr: u8,
+    },
+    /// `if ACC[3] { PC = target }` — branch within the current 128-byte page.
+    Branch {
+        /// 7-bit in-page target address.
+        target: u8,
+    },
+}
+
+impl Instruction {
+    /// Encode to the 8-bit machine word of Figure 2a.
+    ///
+    /// Field values are masked to their field widths, so out-of-range
+    /// arguments cannot produce an encoding that decodes differently.
+    #[must_use]
+    pub fn encode(self) -> u8 {
+        match self {
+            Instruction::AddImm { imm } => 0b0100_0000 | (imm & 0xF),
+            Instruction::NandImm { imm } => 0b0101_0000 | (imm & 0xF),
+            Instruction::XorImm { imm } => 0b0110_0000 | (imm & 0xF),
+            Instruction::AddMem { src } => src & 0x7,
+            Instruction::NandMem { src } => 0b0001_0000 | (src & 0x7),
+            Instruction::XorMem { src } => 0b0010_0000 | (src & 0x7),
+            Instruction::Load { addr } => 0b0011_0000 | (addr & 0x7),
+            Instruction::Store { addr } => 0b0111_0000 | (addr & 0x7),
+            Instruction::Branch { target } => 0b1000_0000 | (target & 0x7F),
+        }
+    }
+
+    /// Decode an 8-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Illegal`] if the fixed-zero bit (bit 3) of an
+    /// M- or T-type encoding is set — those encodings are reserved in the
+    /// FlexiCore4 ISA (FlexiCore8 reuses one of them for `LOAD BYTE`).
+    pub fn decode(byte: u8) -> Result<Self, DecodeError> {
+        if byte & 0x80 != 0 {
+            return Ok(Instruction::Branch {
+                target: byte & 0x7F,
+            });
+        }
+        let imm_mode = byte & 0x40 != 0;
+        let op = (byte >> 4) & 0b11;
+        if let Some(alu) = AluOp::from_field(op) {
+            if imm_mode {
+                let imm = byte & 0xF;
+                return Ok(match alu {
+                    AluOp::Add => Instruction::AddImm { imm },
+                    AluOp::Nand => Instruction::NandImm { imm },
+                    AluOp::Xor => Instruction::XorImm { imm },
+                });
+            }
+            if byte & 0b1000 != 0 {
+                return Err(DecodeError::Illegal { raw: byte.into() });
+            }
+            let src = byte & 0x7;
+            return Ok(match alu {
+                AluOp::Add => Instruction::AddMem { src },
+                AluOp::Nand => Instruction::NandMem { src },
+                AluOp::Xor => Instruction::XorMem { src },
+            });
+        }
+        // op == 0b11: transfer format
+        if byte & 0b1000 != 0 {
+            return Err(DecodeError::Illegal { raw: byte.into() });
+        }
+        let addr = byte & 0x7;
+        Ok(if imm_mode {
+            Instruction::Store { addr }
+        } else {
+            Instruction::Load { addr }
+        })
+    }
+
+    /// The ALU operation performed, if this is an ALU instruction.
+    #[must_use]
+    pub fn alu_op(self) -> Option<AluOp> {
+        match self {
+            Instruction::AddImm { .. } | Instruction::AddMem { .. } => Some(AluOp::Add),
+            Instruction::NandImm { .. } | Instruction::NandMem { .. } => Some(AluOp::Nand),
+            Instruction::XorImm { .. } | Instruction::XorMem { .. } => Some(AluOp::Xor),
+            _ => None,
+        }
+    }
+
+    /// `true` for the branch format.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(self, Instruction::Branch { .. })
+    }
+
+    /// Assembly mnemonic spelling used by `flexasm` listings.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Instruction::AddImm { .. } => "addi",
+            Instruction::NandImm { .. } => "nandi",
+            Instruction::XorImm { .. } => "xori",
+            Instruction::AddMem { .. } => "add",
+            Instruction::NandMem { .. } => "nand",
+            Instruction::XorMem { .. } => "xor",
+            Instruction::Load { .. } => "load",
+            Instruction::Store { .. } => "store",
+            Instruction::Branch { .. } => "br",
+        }
+    }
+}
+
+impl core::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            Instruction::AddImm { imm } => write!(f, "addi {}", crate::isa::sign_extend(imm, 4)),
+            Instruction::NandImm { imm } => write!(f, "nandi {imm:#x}"),
+            Instruction::XorImm { imm } => write!(f, "xori {imm:#x}"),
+            Instruction::AddMem { src } => write!(f, "add r{src}"),
+            Instruction::NandMem { src } => write!(f, "nand r{src}"),
+            Instruction::XorMem { src } => write!(f, "xor r{src}"),
+            Instruction::Load { addr } => write!(f, "load r{addr}"),
+            Instruction::Store { addr } => write!(f, "store r{addr}"),
+            Instruction::Branch { target } => write!(f, "br {target:#04x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_legal_instructions() -> Vec<Instruction> {
+        let mut v = Vec::new();
+        for imm in 0..16u8 {
+            v.push(Instruction::AddImm { imm });
+            v.push(Instruction::NandImm { imm });
+            v.push(Instruction::XorImm { imm });
+        }
+        for a in 0..8u8 {
+            v.push(Instruction::AddMem { src: a });
+            v.push(Instruction::NandMem { src: a });
+            v.push(Instruction::XorMem { src: a });
+            v.push(Instruction::Load { addr: a });
+            v.push(Instruction::Store { addr: a });
+        }
+        for t in 0..128u8 {
+            v.push(Instruction::Branch { target: t });
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all() {
+        for insn in all_legal_instructions() {
+            let byte = insn.encode();
+            assert_eq!(Instruction::decode(byte), Ok(insn), "byte={byte:#04x}");
+        }
+    }
+
+    #[test]
+    fn every_byte_decodes_or_is_reserved() {
+        let mut legal = 0usize;
+        for byte in 0..=255u8 {
+            match Instruction::decode(byte) {
+                Ok(insn) => {
+                    legal += 1;
+                    assert_eq!(insn.encode(), byte, "re-encode mismatch for {byte:#04x}");
+                }
+                Err(DecodeError::Illegal { .. }) => {
+                    // reserved encodings all have op!=branch and bit3 set in
+                    // memory/transfer mode
+                    assert_eq!(byte & 0x80, 0);
+                    assert_eq!(byte & 0b1000, 0b1000);
+                    assert!(byte & 0x40 == 0 || (byte >> 4) & 0b11 == 0b11);
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        // 128 branches + 48 I-type + 24 M-type + 16 T-type = 216 legal bytes
+        assert_eq!(legal, 216);
+    }
+
+    #[test]
+    fn figure2a_field_wiring() {
+        // bits 5:4 go straight to the ALU output mux
+        assert_eq!(Instruction::AddImm { imm: 0 }.encode() >> 4 & 0b11, 0b00);
+        assert_eq!(Instruction::NandImm { imm: 0 }.encode() >> 4 & 0b11, 0b01);
+        assert_eq!(Instruction::XorImm { imm: 0 }.encode() >> 4 & 0b11, 0b10);
+        // bit 6 selects immediate vs memory operand
+        assert_eq!(Instruction::AddImm { imm: 5 }.encode() & 0x40, 0x40);
+        assert_eq!(Instruction::AddMem { src: 5 }.encode() & 0x40, 0);
+    }
+
+    #[test]
+    fn branch_encoding_uses_high_bit() {
+        let b = Instruction::Branch { target: 0x55 }.encode();
+        assert_eq!(b, 0xD5);
+    }
+
+    #[test]
+    fn listing1_style_instructions_display() {
+        assert_eq!(Instruction::AddImm { imm: 0xD }.to_string(), "addi -3");
+        assert_eq!(Instruction::NandImm { imm: 0 }.to_string(), "nandi 0x0");
+        assert_eq!(Instruction::Load { addr: 2 }.to_string(), "load r2");
+    }
+
+    #[test]
+    fn masks_out_of_range_fields() {
+        // address 9 wraps into the 3-bit field rather than corrupting opcode bits
+        let enc = Instruction::Load { addr: 9 }.encode();
+        assert_eq!(Instruction::decode(enc), Ok(Instruction::Load { addr: 1 }));
+    }
+}

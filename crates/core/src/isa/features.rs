@@ -1,0 +1,292 @@
+//! ISA extension features explored by the paper's design-space exploration.
+//!
+//! Section 6.1 evaluates seven candidate additions to the base FlexiCore4
+//! ISA (Figure 9). Each is represented here as a flag; a [`FeatureSet`]
+//! parameterizes the extended-ISA assembler, simulator and the gate-level
+//! cost models, so every experiment that sweeps features does so through one
+//! type.
+
+use core::fmt;
+
+/// A single candidate ISA extension from Figure 9 / Section 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Feature {
+    /// Data-coalescing arithmetic: `ADC`/`SWB` (add-with-carry, subtract-
+    /// with-borrow) plus an architected carry flag. Enables multi-nibble
+    /// integers and overflow inspection.
+    AddWithCarry,
+    /// A barrel shifter supporting arithmetic and logical right shifts
+    /// (`ASR`, `LSR`). Left shifts were already cheap via repeated addition.
+    BarrelShifter,
+    /// Three-bit branch condition mask: branch on negative / zero / positive
+    /// instead of only on the accumulator sign bit.
+    BranchFlags,
+    /// A 4 × 4 → 4-bit hardware multiplier that returns either the low or
+    /// high half of the product (`MULL`, `MULH`).
+    Multiplier,
+    /// `XCH` — exchange the accumulator with a data-memory word in one
+    /// instruction.
+    AccExchange,
+    /// A return-address register with `CALL`/`RET`, enabling cheap
+    /// subroutine linkage (costs 8 flip-flops, §6.1).
+    Subroutines,
+    /// Double the data memory from 8 to 16 words. Does not change code size
+    /// but admits programs with larger working sets (rejected by the paper
+    /// for its >70 % area cost).
+    DoubleRegfile,
+}
+
+impl Feature {
+    /// All features, in the order Figure 9 presents them.
+    pub const ALL: [Feature; 7] = [
+        Feature::AddWithCarry,
+        Feature::BarrelShifter,
+        Feature::BranchFlags,
+        Feature::Multiplier,
+        Feature::AccExchange,
+        Feature::Subroutines,
+        Feature::DoubleRegfile,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            Feature::AddWithCarry => 1 << 0,
+            Feature::BarrelShifter => 1 << 1,
+            Feature::BranchFlags => 1 << 2,
+            Feature::Multiplier => 1 << 3,
+            Feature::AccExchange => 1 << 4,
+            Feature::Subroutines => 1 << 5,
+            Feature::DoubleRegfile => 1 << 6,
+        }
+    }
+
+    /// Short label used in tables and figure output (matches Figure 9/10
+    /// legends).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Feature::AddWithCarry => "ADC",
+            Feature::BarrelShifter => "RShift",
+            Feature::BranchFlags => "BranchFlags",
+            Feature::Multiplier => "Multiplication",
+            Feature::AccExchange => "AccExchange",
+            Feature::Subroutines => "Subroutines",
+            Feature::DoubleRegfile => "2xRegfile",
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A set of enabled [`Feature`]s.
+///
+/// Implemented as a transparent bit set so sweeps over all 2⁷ combinations
+/// are cheap; the type still reads like a collection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct FeatureSet(u8);
+
+impl FeatureSet {
+    /// The empty set — the base FlexiCore4 ISA.
+    pub const BASE: FeatureSet = FeatureSet(0);
+
+    /// The paper's revised ISA (§6.1 conclusion): coalescing arithmetic,
+    /// barrel shifter, condition codes, accumulator exchange and subroutine
+    /// linkage — but **not** the multiplier (too much area) and **not** the
+    /// doubled register file (>70 % area cost).
+    #[must_use]
+    pub fn revised() -> FeatureSet {
+        FeatureSet::BASE
+            .with(Feature::AddWithCarry)
+            .with(Feature::BarrelShifter)
+            .with(Feature::BranchFlags)
+            .with(Feature::AccExchange)
+            .with(Feature::Subroutines)
+    }
+
+    /// The feature mix of the fabricated **FlexiCore4+** die (§6.1:
+    /// "several of the ISA extensions — barrel shifter, branch condition
+    /// flags").
+    #[must_use]
+    pub fn fc4_plus() -> FeatureSet {
+        FeatureSet::BASE
+            .with(Feature::BarrelShifter)
+            .with(Feature::BranchFlags)
+    }
+
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> FeatureSet {
+        FeatureSet::BASE
+    }
+
+    /// A set containing exactly `feature`.
+    #[must_use]
+    pub fn only(feature: Feature) -> FeatureSet {
+        FeatureSet(feature.bit())
+    }
+
+    /// Return `self` with `feature` enabled.
+    #[must_use]
+    pub fn with(self, feature: Feature) -> FeatureSet {
+        FeatureSet(self.0 | feature.bit())
+    }
+
+    /// Return `self` with `feature` disabled.
+    #[must_use]
+    pub fn without(self, feature: Feature) -> FeatureSet {
+        FeatureSet(self.0 & !feature.bit())
+    }
+
+    /// Whether `feature` is enabled.
+    #[must_use]
+    pub fn contains(self, feature: Feature) -> bool {
+        self.0 & feature.bit() != 0
+    }
+
+    /// `true` if no features are enabled (base ISA).
+    #[must_use]
+    pub fn is_base(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of enabled features.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` when no features are enabled.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over the enabled features in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = Feature> {
+        Feature::ALL.into_iter().filter(move |f| self.contains(*f))
+    }
+
+    /// Iterate over all 2⁷ feature combinations (used by exhaustive sweeps).
+    pub fn all_combinations() -> impl Iterator<Item = FeatureSet> {
+        (0u8..128).map(FeatureSet)
+    }
+
+    /// Number of general-purpose data-memory words this configuration has
+    /// (addresses 0 and 1 stay memory-mapped IO).
+    #[must_use]
+    pub fn mem_words(self) -> usize {
+        if self.contains(Feature::DoubleRegfile) {
+            16
+        } else {
+            8
+        }
+    }
+}
+
+impl FromIterator<Feature> for FeatureSet {
+    fn from_iter<I: IntoIterator<Item = Feature>>(iter: I) -> Self {
+        iter.into_iter()
+            .fold(FeatureSet::BASE, |acc, f| acc.with(f))
+    }
+}
+
+impl Extend<Feature> for FeatureSet {
+    fn extend<I: IntoIterator<Item = Feature>>(&mut self, iter: I) {
+        for f in iter {
+            *self = self.with(f);
+        }
+    }
+}
+
+impl fmt::Debug for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_base() {
+            return f.write_str("base");
+        }
+        let mut first = true;
+        for feat in self.iter() {
+            if !first {
+                f.write_str("+")?;
+            }
+            write!(f, "{feat}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_without_contains() {
+        let s = FeatureSet::new().with(Feature::BarrelShifter);
+        assert!(s.contains(Feature::BarrelShifter));
+        assert!(!s.contains(Feature::Multiplier));
+        assert!(s.without(Feature::BarrelShifter).is_base());
+    }
+
+    #[test]
+    fn revised_set_matches_paper() {
+        let r = FeatureSet::revised();
+        assert!(r.contains(Feature::AddWithCarry));
+        assert!(r.contains(Feature::BarrelShifter));
+        assert!(r.contains(Feature::BranchFlags));
+        assert!(r.contains(Feature::AccExchange));
+        assert!(r.contains(Feature::Subroutines));
+        assert!(
+            !r.contains(Feature::Multiplier),
+            "multiplier rejected (§6.1)"
+        );
+        assert!(
+            !r.contains(Feature::DoubleRegfile),
+            "2x regfile rejected (§6.1)"
+        );
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn fc4_plus_has_shifter_and_flags() {
+        let p = FeatureSet::fc4_plus();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(Feature::BarrelShifter));
+        assert!(p.contains(Feature::BranchFlags));
+    }
+
+    #[test]
+    fn iteration_and_collect() {
+        let s: FeatureSet = [Feature::Multiplier, Feature::Subroutines]
+            .into_iter()
+            .collect();
+        let back: Vec<Feature> = s.iter().collect();
+        assert_eq!(back, vec![Feature::Multiplier, Feature::Subroutines]);
+    }
+
+    #[test]
+    fn all_combinations_count() {
+        assert_eq!(FeatureSet::all_combinations().count(), 128);
+    }
+
+    #[test]
+    fn double_regfile_doubles_words() {
+        assert_eq!(FeatureSet::BASE.mem_words(), 8);
+        assert_eq!(FeatureSet::only(Feature::DoubleRegfile).mem_words(), 16);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FeatureSet::BASE.to_string(), "base");
+        assert_eq!(FeatureSet::fc4_plus().to_string(), "RShift+BranchFlags");
+    }
+}

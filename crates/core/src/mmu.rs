@@ -1,0 +1,250 @@
+//! The off-chip memory management unit (§5.1).
+//!
+//! Programs larger than the 128 bytes reachable by the 7-bit program counter
+//! use an off-chip MMU: a finite-state transducer watching the core's
+//! *output* port plus a four-bit page register. When the transducer
+//! recognises a specific escape sequence on the output port it latches the
+//! next output value into the page register "after a short delay"; software
+//! then branches to the desired location inside the newly selected page.
+//!
+//! The paper does not publish the escape sequence, so this model uses a
+//! three-value sequence — two fixed escape values followed by the page
+//! number:
+//!
+//! ```text
+//! OPORT: 0xE, 0xD, page     (4-bit cores)
+//! ```
+//!
+//! A three-value prefix makes an accidental trigger from ordinary program
+//! output vanishingly unlikely while keeping the transducer tiny (two state
+//! flip-flops plus the page register), in the spirit of the paper's
+//! "finite-state transducer based controller, and a four-bit register".
+//!
+//! **The short delay.** The paper notes the MMU stores the page "after a
+//! short delay" — this is essential: the store instruction that emits the
+//! page number and the branch that follows it are still fetched from the
+//! *old* page. This model commits the page [`COMMIT_DELAY`] instruction
+//! slots after the page value appears, which admits the canonical
+//! page-change sequence:
+//!
+//! ```text
+//! store OPORT   ; page value on the bus (third value of the sequence)
+//! nandi 0       ; make ACC negative            (old page)
+//! br   target   ; taken branch                 (old page)
+//! target:       ; execution continues          (NEW page)
+//! ```
+//!
+//! The full fetch address is `page << 7 | PC`, supporting sixteen 128-byte
+//! pages (2 KiB), exactly the "sixteen different 128-instruction pages" of
+//! §5.1.
+
+/// First escape value of the page-change sequence.
+pub const ESCAPE_1: u8 = 0xE;
+/// Second escape value of the page-change sequence.
+pub const ESCAPE_2: u8 = 0xD;
+/// Number of selectable pages (the page register is four bits).
+pub const PAGE_COUNT: usize = 16;
+/// Instruction slots between the page value appearing on the output port
+/// and the page register updating (the "short delay" of §5.1).
+pub const COMMIT_DELAY: u8 = 3;
+
+/// The finite-state transducer and page register of the off-chip MMU.
+///
+/// Feed every value the core drives on its output port to
+/// [`Mmu::observe`]; call [`Mmu::tick`] once at the start of every
+/// instruction slot; consult [`Mmu::page`] when forming fetch addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mmu {
+    state: State,
+    page: u8,
+    pending: Option<(u8, u8)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum State {
+    Idle,
+    SawEscape1,
+    SawEscape2,
+}
+
+impl Default for Mmu {
+    fn default() -> Self {
+        Mmu::new()
+    }
+}
+
+impl Mmu {
+    /// An MMU with page 0 selected.
+    #[must_use]
+    pub fn new() -> Self {
+        Mmu {
+            state: State::Idle,
+            page: 0,
+            pending: None,
+        }
+    }
+
+    /// The currently selected 4-bit page.
+    #[must_use]
+    pub fn page(self) -> u8 {
+        self.page
+    }
+
+    /// A page change that has been recognised but not yet committed.
+    #[must_use]
+    pub fn pending_page(self) -> Option<u8> {
+        self.pending.map(|(p, _)| p)
+    }
+
+    /// Form the full fetch address for an in-page program counter.
+    #[must_use]
+    pub fn extend(self, pc: u8) -> u32 {
+        (u32::from(self.page) << 7) | u32::from(pc & 0x7F)
+    }
+
+    /// Advance the delay line by one instruction slot, committing a pending
+    /// page change whose delay has elapsed. Call at the start of each step,
+    /// before the instruction fetch.
+    pub fn tick(&mut self) {
+        if let Some((page, delay)) = self.pending {
+            if delay <= 1 {
+                self.page = page;
+                self.pending = None;
+            } else {
+                self.pending = Some((page, delay - 1));
+            }
+        }
+    }
+
+    /// Snoop one output-port value. Returns `true` when this value completed
+    /// a page-change sequence (the page register will update after
+    /// [`COMMIT_DELAY`] ticks).
+    pub fn observe(&mut self, value: u8) -> bool {
+        let v = value & 0xF;
+        match self.state {
+            State::Idle => {
+                if v == ESCAPE_1 {
+                    self.state = State::SawEscape1;
+                }
+                false
+            }
+            State::SawEscape1 => {
+                self.state = if v == ESCAPE_2 {
+                    State::SawEscape2
+                } else if v == ESCAPE_1 {
+                    // stay armed: `0xE 0xE 0xD page` must still work
+                    State::SawEscape1
+                } else {
+                    State::Idle
+                };
+                false
+            }
+            State::SawEscape2 => {
+                self.pending = Some((v, COMMIT_DELAY));
+                self.state = State::Idle;
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit(mmu: &mut Mmu) {
+        for _ in 0..COMMIT_DELAY {
+            mmu.tick();
+        }
+    }
+
+    #[test]
+    fn page_change_sequence() {
+        let mut mmu = Mmu::new();
+        assert_eq!(mmu.page(), 0);
+        assert!(!mmu.observe(ESCAPE_1));
+        assert!(!mmu.observe(ESCAPE_2));
+        assert!(mmu.observe(5));
+        assert_eq!(mmu.pending_page(), Some(5));
+        assert_eq!(mmu.page(), 0, "not yet committed");
+        commit(&mut mmu);
+        assert_eq!(mmu.page(), 5);
+        assert_eq!(mmu.pending_page(), None);
+    }
+
+    #[test]
+    fn commit_takes_exactly_the_delay() {
+        let mut mmu = Mmu::new();
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        mmu.observe(7);
+        for i in 0..COMMIT_DELAY {
+            assert_eq!(mmu.page(), 0, "still old page after {i} ticks");
+            mmu.tick();
+        }
+        assert_eq!(mmu.page(), 7);
+    }
+
+    #[test]
+    fn ordinary_output_does_not_change_page() {
+        let mut mmu = Mmu::new();
+        for v in [0u8, 1, 2, 0xD, 3, 0xF] {
+            assert!(!mmu.observe(v));
+            mmu.tick();
+        }
+        assert_eq!(mmu.page(), 0);
+    }
+
+    #[test]
+    fn broken_sequence_resets() {
+        let mut mmu = Mmu::new();
+        mmu.observe(ESCAPE_1);
+        mmu.observe(0x3); // breaks the sequence
+        mmu.observe(ESCAPE_2);
+        mmu.observe(0x7);
+        commit(&mut mmu);
+        assert_eq!(mmu.page(), 0);
+    }
+
+    #[test]
+    fn repeated_escape1_keeps_armed() {
+        let mut mmu = Mmu::new();
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        assert!(mmu.observe(9));
+        commit(&mut mmu);
+        assert_eq!(mmu.page(), 9);
+    }
+
+    #[test]
+    fn extend_forms_full_address() {
+        let mut mmu = Mmu::new();
+        assert_eq!(mmu.extend(0x15), 0x15);
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        mmu.observe(2);
+        commit(&mut mmu);
+        assert_eq!(mmu.extend(0x15), (2 << 7) | 0x15);
+        assert_eq!(mmu.extend(0xFF), (2 << 7) | 0x7F, "pc masked to 7 bits");
+    }
+
+    #[test]
+    fn page_value_masked_to_four_bits() {
+        let mut mmu = Mmu::new();
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        mmu.observe(0xF3);
+        commit(&mut mmu);
+        assert_eq!(mmu.page(), 3);
+    }
+
+    #[test]
+    fn idle_ticks_are_harmless() {
+        let mut mmu = Mmu::new();
+        for _ in 0..10 {
+            mmu.tick();
+        }
+        assert_eq!(mmu.page(), 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Functional simulator for FlexiCore8.
+//!
+//! Identical in shape to [`Fc4Core`](crate::sim::fc4::Fc4Core) with the
+//! §3.3 differences: an 8-bit datapath, four octet data-memory words, 4-bit
+//! immediates sign-extended to the datapath, and the two-byte `LOAD BYTE`
+//! instruction, whose second fetch costs an extra clock cycle (the single
+//! stateful bit in FlexiCore8's controller, §3.4).
+
+use crate::error::SimError;
+use crate::io::{InputPort, OutputPort};
+use crate::isa::fc8::{Instruction, IPORT_ADDR, MEM_WORDS, OPORT_ADDR};
+use crate::isa::sign_extend;
+use crate::mmu::Mmu;
+use crate::program::Program;
+use crate::sim::{RunResult, StopReason};
+use crate::trace::StepEvent;
+
+const PC_MASK: u8 = 0x7F;
+const SIGN_BIT: u8 = 0x80;
+
+/// A FlexiCore8 core plus its off-chip program memory and MMU.
+#[derive(Debug, Clone)]
+pub struct Fc8Core {
+    program: Program,
+    mmu: Mmu,
+    pc: u8,
+    acc: u8,
+    mem: [u8; MEM_WORDS],
+    cycle: u64,
+    instructions: u64,
+    taken_branches: u64,
+    halted: bool,
+}
+
+impl Fc8Core {
+    /// A core reset to power-on state with `program` loaded.
+    #[must_use]
+    pub fn new(program: Program) -> Self {
+        Fc8Core {
+            program,
+            mmu: Mmu::new(),
+            pc: 0,
+            acc: 0,
+            mem: [0; MEM_WORDS],
+            cycle: 0,
+            instructions: 0,
+            taken_branches: 0,
+            halted: false,
+        }
+    }
+
+    /// Reset architectural state, keeping the program image.
+    pub fn reset(&mut self) {
+        let program = core::mem::take(&mut self.program);
+        *self = Fc8Core::new(program);
+    }
+
+    /// Replace the external program memory and reset.
+    pub fn reprogram(&mut self, program: Program) {
+        *self = Fc8Core::new(program);
+    }
+
+    /// Current program counter (7 bits, in-page).
+    #[must_use]
+    pub fn pc(&self) -> u8 {
+        self.pc
+    }
+
+    /// Current accumulator value.
+    #[must_use]
+    pub fn acc(&self) -> u8 {
+        self.acc
+    }
+
+    /// The data-memory word at `addr` (0..4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= 4`.
+    #[must_use]
+    pub fn mem(&self, addr: u8) -> u8 {
+        self.mem[usize::from(addr)]
+    }
+
+    /// Elapsed clock cycles (LOAD BYTE counts two).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Retired instruction count.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Whether the halt idiom has been reached.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The currently selected MMU page.
+    #[must_use]
+    pub fn page(&self) -> u8 {
+        self.mmu.page()
+    }
+
+    /// The loaded program image.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn read_operand<I: InputPort>(&mut self, addr: u8, input: &mut I) -> u8 {
+        if addr == IPORT_ADDR {
+            input.read(self.cycle)
+        } else {
+            self.mem[usize::from(addr & 0x3)]
+        }
+    }
+
+    /// Execute one instruction.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::FetchOutOfBounds`] — fetch address outside the image,
+    /// * [`SimError::IllegalInstruction`] — reserved encoding,
+    /// * [`SimError::TruncatedInstruction`] — `LOAD BYTE` at the last byte
+    ///   of the image.
+    pub fn step<I, O>(&mut self, input: &mut I, output: &mut O) -> Result<StepEvent, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+    {
+        self.mmu.tick();
+        let address = self.mmu.extend(self.pc);
+        let window = self.program.window(address);
+        if window.is_empty() {
+            return Err(SimError::FetchOutOfBounds {
+                address,
+                program_len: self.program.len(),
+            });
+        }
+        let (insn, len) = Instruction::decode(window).map_err(|e| match e {
+            crate::error::DecodeError::NeedsSecondByte { .. } => {
+                SimError::TruncatedInstruction { address }
+            }
+            crate::error::DecodeError::Illegal { raw } => {
+                SimError::IllegalInstruction { raw, address }
+            }
+        })?;
+
+        let start_cycle = self.cycle;
+        let mut taken = false;
+        let mut next_pc = (self.pc + len as u8) & PC_MASK;
+
+        match insn {
+            Instruction::AddImm { imm } => {
+                self.acc = self.acc.wrapping_add(sign_extend(imm, 4) as u8);
+            }
+            Instruction::NandImm { imm } => {
+                self.acc = !(self.acc & (sign_extend(imm, 4) as u8));
+            }
+            Instruction::XorImm { imm } => {
+                self.acc ^= sign_extend(imm, 4) as u8;
+            }
+            Instruction::AddMem { src } => {
+                let v = self.read_operand(src, input);
+                self.acc = self.acc.wrapping_add(v);
+            }
+            Instruction::NandMem { src } => {
+                let v = self.read_operand(src, input);
+                self.acc = !(self.acc & v);
+            }
+            Instruction::XorMem { src } => {
+                let v = self.read_operand(src, input);
+                self.acc ^= v;
+            }
+            Instruction::Load { addr } => {
+                self.acc = self.read_operand(addr, input);
+            }
+            Instruction::Store { addr } => {
+                if addr != IPORT_ADDR {
+                    self.mem[usize::from(addr & 0x3)] = self.acc;
+                }
+                if addr == OPORT_ADDR {
+                    output.write(self.cycle, self.acc);
+                    self.mmu.observe(self.acc);
+                }
+            }
+            Instruction::LoadByte { imm } => {
+                self.acc = imm;
+            }
+            Instruction::Branch { target } => {
+                if self.acc & SIGN_BIT != 0 {
+                    taken = true;
+                    if target == self.pc {
+                        self.halted = true;
+                    }
+                    next_pc = target;
+                }
+            }
+        }
+
+        self.pc = next_pc;
+        self.cycle += len as u64;
+        self.instructions += 1;
+        if taken {
+            self.taken_branches += 1;
+        }
+
+        Ok(StepEvent {
+            cycle: start_cycle,
+            address,
+            next_pc,
+            acc: self.acc,
+            cycles: len as u64,
+            taken_branch: taken,
+            halted: self.halted,
+        })
+    }
+
+    /// Run until the halt idiom or until `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Fc8Core::step`].
+    pub fn run<I, O>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        max_cycles: u64,
+    ) -> Result<RunResult, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+    {
+        while !self.halted && self.cycle < max_cycles {
+            self.step(input, output)?;
+        }
+        Ok(RunResult {
+            cycles: self.cycle,
+            instructions: self.instructions,
+            taken_branches: self.taken_branches,
+            fetched_bytes: self.cycle,
+            stop: if self.halted {
+                StopReason::Halted
+            } else {
+                StopReason::CycleLimit
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{ConstInput, NullOutput, RecordingOutput};
+    use crate::isa::fc8::Instruction as I;
+
+    fn assemble(insns: &[I]) -> Program {
+        let mut bytes = Vec::new();
+        for i in insns {
+            i.encode_into(&mut bytes);
+        }
+        Program::from_bytes(bytes)
+    }
+
+    #[test]
+    fn load_byte_loads_full_octet_and_costs_two_cycles() {
+        let prog = assemble(&[
+            I::LoadByte { imm: 0xAB },
+            I::Store { addr: 2 },
+            I::LoadByte { imm: 0x80 },
+            I::Branch { target: 5 }, // byte address 5 is this branch itself
+        ]);
+        let mut core = Fc8Core::new(prog);
+        let r = core
+            .run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
+            .unwrap();
+        assert!(r.halted());
+        assert_eq!(core.mem(2), 0xAB);
+        // 2 + 1 + 2 + 1 cycles
+        assert_eq!(r.cycles, 6);
+        assert_eq!(r.instructions, 4);
+    }
+
+    #[test]
+    fn immediates_are_sign_extended() {
+        let prog = assemble(&[
+            I::LoadByte { imm: 0x10 },
+            I::AddImm { imm: 0xD }, // -3
+            I::Store { addr: 2 },
+            I::LoadByte { imm: 0x80 },
+            I::Branch { target: 6 },
+        ]);
+        let mut core = Fc8Core::new(prog);
+        core.run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
+            .unwrap();
+        assert_eq!(core.mem(2), 0x0D);
+    }
+
+    #[test]
+    fn branch_tests_bit_seven() {
+        // byte layout: 0-1 LOAD BYTE, 2 branch (self), 3-4 LOAD BYTE,
+        // 5 branch (self)
+        let prog = assemble(&[
+            I::LoadByte { imm: 0x7F }, // bytes 0-1
+            I::Branch { target: 2 },   // byte 2: self-target, not taken
+            I::LoadByte { imm: 0xFF }, // bytes 3-4
+            I::Branch { target: 5 },   // byte 5: self-target, taken: halt
+        ]);
+        let mut core = Fc8Core::new(prog);
+        let r = core
+            .run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
+            .unwrap();
+        assert!(r.halted());
+        assert_eq!(r.taken_branches, 1);
+    }
+
+    #[test]
+    fn eight_bit_io_roundtrip() {
+        let prog = assemble(&[
+            I::Load { addr: 0 },
+            I::AddMem { src: 0 }, // doubles the input
+            I::Store { addr: 1 },
+            I::LoadByte { imm: 0x80 },
+            I::Branch { target: 5 },
+        ]);
+        let mut core = Fc8Core::new(prog);
+        let mut out = RecordingOutput::new();
+        core.run(&mut ConstInput::new(0x55), &mut out, 100).unwrap();
+        assert_eq!(out.values(), vec![0xAA]);
+    }
+
+    #[test]
+    fn truncated_load_byte_is_error() {
+        let prog = Program::from_bytes(vec![0x08]);
+        let mut core = Fc8Core::new(prog);
+        let err = core
+            .step(&mut ConstInput::new(0), &mut NullOutput::new())
+            .unwrap_err();
+        assert!(matches!(err, SimError::TruncatedInstruction { address: 0 }));
+    }
+
+    #[test]
+    fn only_four_memory_words() {
+        let prog = assemble(&[
+            I::LoadByte { imm: 0x42 },
+            I::Store { addr: 3 },
+            I::LoadByte { imm: 0x80 },
+            I::Branch { target: 5 },
+        ]);
+        let mut core = Fc8Core::new(prog);
+        core.run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
+            .unwrap();
+        assert_eq!(core.mem(3), 0x42);
+        assert_eq!(core.mem(2), 0);
+    }
+}

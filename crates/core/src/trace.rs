@@ -1,0 +1,126 @@
+//! Execution tracing.
+//!
+//! Simulators report one [`StepEvent`] per architectural step; a [`Trace`]
+//! is an optional collector used by tests, the RTL co-simulation harness and
+//! the examples' `--trace` modes.
+
+/// What happened during one architectural step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepEvent {
+    /// Cycle count *before* this step executed.
+    pub cycle: u64,
+    /// Full (page-extended) fetch address of the instruction.
+    pub address: u32,
+    /// Program counter value after the step.
+    pub next_pc: u8,
+    /// Accumulator value after the step (for the load-store dialect, the
+    /// value written to `rd`, or the old flags for pure control flow).
+    pub acc: u8,
+    /// Number of clock cycles the step consumed (1, or 2 for two-byte
+    /// fetches such as FlexiCore8 `LOAD BYTE`).
+    pub cycles: u64,
+    /// Whether this step was a taken control transfer.
+    pub taken_branch: bool,
+    /// Whether the step hit the halt idiom (taken branch to itself).
+    pub halted: bool,
+}
+
+/// A bounded in-memory trace of [`StepEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<StepEvent>,
+    capacity: Option<usize>,
+}
+
+impl Trace {
+    /// An unbounded trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// A trace that keeps only the most recent `capacity` events.
+    #[must_use]
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Record an event (dropping the oldest if at capacity).
+    pub fn record(&mut self, event: StepEvent) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap && cap > 0 {
+                self.events.remove(0);
+            }
+            if cap == 0 {
+                return;
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &[StepEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> StepEvent {
+        StepEvent {
+            cycle,
+            address: 0,
+            next_pc: 0,
+            acc: 0,
+            cycles: 1,
+            taken_branch: false,
+            halted: false,
+        }
+    }
+
+    #[test]
+    fn unbounded_trace_keeps_all() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.events()[0].cycle, 0);
+    }
+
+    #[test]
+    fn bounded_trace_keeps_most_recent() {
+        let mut t = Trace::with_capacity_limit(3);
+        for i in 0..10 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].cycle, 7);
+        assert_eq!(t.events()[2].cycle, 9);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Trace::with_capacity_limit(0);
+        t.record(ev(1));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! Microarchitecture timing models (§3.4, §6.2).
+//!
+//! The paper's DSE sweeps three implementations of each ISA:
+//!
+//! * **single-cycle** — every instruction completes in one clock; the clock
+//!   period must cover fetch + decode + execute + writeback, so `fmax` is
+//!   lowest. This is how the fabricated FlexiCores work.
+//! * **two-stage pipeline** — fetch overlapped with execute; `fmax` rises,
+//!   at the cost of one bubble per taken control transfer and a set of
+//!   pipeline registers.
+//! * **multicycle** — separate fetch and execute cycles (CPI = 2), with the
+//!   area benefit (for load-store) of sharing one register-file port.
+//!
+//! Orthogonally, §6.2's Figure 13 varies the **program-bus width**: a core
+//! whose instructions are wider than the bus needs one cycle per bus beat
+//! just to fetch, which rules out CPI-1 operation ("the single cycle and
+//! 2-stage versions of the load-store machine are not possible").
+//!
+//! [`TimingModel::cycles`] converts the architectural counts reported by a
+//! functional simulator ([`RunResult`]) into clock cycles, and
+//! [`TimingModel::is_feasible`] reports whether the combination can sustain
+//! its nominal CPI at all.
+
+use crate::sim::RunResult;
+
+/// The three microarchitectures of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Microarch {
+    /// One clock per instruction; lowest `fmax`, no pipeline state.
+    SingleCycle,
+    /// Two-stage fetch/execute pipeline; taken branches cost one bubble.
+    TwoStage,
+    /// Separate fetch and execute clocks (CPI = 2).
+    MultiCycle,
+}
+
+impl Microarch {
+    /// All variants, in the paper's presentation order.
+    pub const ALL: [Microarch; 3] = [
+        Microarch::SingleCycle,
+        Microarch::TwoStage,
+        Microarch::MultiCycle,
+    ];
+
+    /// Short label used in figure output (`SC`, `P`, `MC`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Microarch::SingleCycle => "SC",
+            Microarch::TwoStage => "P",
+            Microarch::MultiCycle => "MC",
+        }
+    }
+}
+
+impl core::fmt::Display for Microarch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Program-memory bus width in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusWidth {
+    bits: u32,
+}
+
+impl BusWidth {
+    /// The 8-bit instruction bus of the fabricated FlexiCores.
+    pub const BYTE: BusWidth = BusWidth { bits: 8 };
+    /// A bus wide enough to deliver any instruction in one beat (§6.2's
+    /// first scenario, and the natural choice with an integrated program
+    /// memory).
+    pub const WIDE: BusWidth = BusWidth { bits: 32 };
+
+    /// A bus of `bits` width (must be a positive multiple of 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or not byte-aligned.
+    #[must_use]
+    pub fn new(bits: u32) -> BusWidth {
+        assert!(
+            bits > 0 && bits.is_multiple_of(8),
+            "bus width must be a positive multiple of 8 bits"
+        );
+        BusWidth { bits }
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Bus beats needed to move `bytes` program bytes.
+    #[must_use]
+    pub fn beats(self, bytes: u64) -> u64 {
+        let per_beat = u64::from(self.bits / 8);
+        bytes.div_ceil(per_beat)
+    }
+}
+
+/// A concrete (microarchitecture, bus width) timing point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingModel {
+    /// The pipeline organisation.
+    pub microarch: Microarch,
+    /// The program-memory bus width.
+    pub bus: BusWidth,
+    /// Width in bits of the *common* instruction encoding: 8 for the
+    /// accumulator dialects (whose occasional two-byte branches simply
+    /// stall one extra fetch beat, like FlexiCore8's `LOAD BYTE`), 16 for
+    /// load-store (every instruction).
+    pub common_insn_bits: u32,
+}
+
+impl TimingModel {
+    /// A model for the fabricated FlexiCore4 (single cycle, byte bus,
+    /// byte instructions).
+    #[must_use]
+    pub fn flexicore4() -> TimingModel {
+        TimingModel {
+            microarch: Microarch::SingleCycle,
+            bus: BusWidth::BYTE,
+            common_insn_bits: 8,
+        }
+    }
+
+    /// Whether this design point can sustain its nominal CPI.
+    ///
+    /// Single-cycle and pipelined machines must fetch their common
+    /// instruction in one beat; if the bus is narrower than that they are
+    /// infeasible (§6.2: "the single cycle and 2-stage versions of the
+    /// load-store machine are not possible" on the 8-bit bus). An
+    /// occasional wider instruction (the accumulator dialects' two-byte
+    /// branch) merely stalls an extra beat, exactly like FlexiCore8's
+    /// `LOAD BYTE`. The multicycle machine is always feasible.
+    #[must_use]
+    pub fn is_feasible(self) -> bool {
+        match self.microarch {
+            Microarch::SingleCycle | Microarch::TwoStage => self.bus.bits >= self.common_insn_bits,
+            Microarch::MultiCycle => true,
+        }
+    }
+
+    /// Clock cycles needed to execute the run described by `r`.
+    ///
+    /// * single-cycle: one clock per instruction, but never fewer clocks
+    ///   than fetch beats (a multi-byte instruction on a narrow bus stalls
+    ///   until its last byte arrives);
+    /// * two-stage: the same plus one bubble per taken control transfer;
+    /// * multicycle: one execute clock per instruction plus one fetch clock
+    ///   per bus beat.
+    ///
+    /// For an infeasible point this still returns the stalled count
+    /// (useful for "what if" analyses); use [`TimingModel::is_feasible`]
+    /// to filter.
+    #[must_use]
+    pub fn cycles(self, r: &RunResult) -> u64 {
+        let fetch_beats = self.bus.beats(r.fetched_bytes);
+        match self.microarch {
+            Microarch::SingleCycle => r.instructions.max(fetch_beats),
+            Microarch::TwoStage => r.instructions.max(fetch_beats) + r.taken_branches,
+            Microarch::MultiCycle => fetch_beats + r.instructions,
+        }
+    }
+
+    /// Execution time in seconds at clock frequency `f_hz`.
+    #[must_use]
+    pub fn seconds(self, r: &RunResult, f_hz: f64) -> f64 {
+        self.cycles(r) as f64 / f_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::StopReason;
+
+    fn run(instructions: u64, taken: u64, bytes: u64) -> RunResult {
+        RunResult {
+            cycles: instructions,
+            instructions,
+            taken_branches: taken,
+            fetched_bytes: bytes,
+            stop: StopReason::Halted,
+        }
+    }
+
+    #[test]
+    fn single_cycle_wide_bus_is_one_cpi() {
+        let m = TimingModel {
+            microarch: Microarch::SingleCycle,
+            bus: BusWidth::WIDE,
+            common_insn_bits: 16,
+        };
+        assert!(m.is_feasible());
+        assert_eq!(m.cycles(&run(100, 10, 150)), 100);
+    }
+
+    #[test]
+    fn pipeline_pays_for_taken_branches() {
+        let m = TimingModel {
+            microarch: Microarch::TwoStage,
+            bus: BusWidth::WIDE,
+            common_insn_bits: 16,
+        };
+        assert_eq!(m.cycles(&run(100, 10, 150)), 110);
+    }
+
+    #[test]
+    fn occasional_wide_instructions_stall_one_beat() {
+        // 100 instructions, 110 bytes over an 8-bit bus: ten two-byte
+        // branches cost ten stall beats, not infeasibility
+        let m = TimingModel {
+            microarch: Microarch::SingleCycle,
+            bus: BusWidth::BYTE,
+            common_insn_bits: 8,
+        };
+        assert!(m.is_feasible());
+        assert_eq!(m.cycles(&run(100, 10, 110)), 110);
+    }
+
+    #[test]
+    fn multicycle_pays_fetch_beats() {
+        let m = TimingModel {
+            microarch: Microarch::MultiCycle,
+            bus: BusWidth::BYTE,
+            common_insn_bits: 16,
+        };
+        // 150 bytes over an 8-bit bus = 150 beats + 100 executes
+        assert_eq!(m.cycles(&run(100, 10, 150)), 250);
+        let wide = TimingModel {
+            bus: BusWidth::WIDE,
+            ..m
+        };
+        // 150 bytes over 32-bit bus: ceil(150/4) = 38 beats
+        assert_eq!(wide.cycles(&run(100, 10, 150)), 138);
+    }
+
+    #[test]
+    fn narrow_bus_rules_out_cpi1_for_wide_instructions() {
+        let sc = TimingModel {
+            microarch: Microarch::SingleCycle,
+            bus: BusWidth::BYTE,
+            common_insn_bits: 16,
+        };
+        assert!(!sc.is_feasible());
+        let p = TimingModel {
+            microarch: Microarch::TwoStage,
+            ..sc
+        };
+        assert!(!p.is_feasible());
+        let mc = TimingModel {
+            microarch: Microarch::MultiCycle,
+            ..sc
+        };
+        assert!(mc.is_feasible());
+    }
+
+    #[test]
+    fn flexicore4_point_matches_fabricated_chip() {
+        let m = TimingModel::flexicore4();
+        assert!(m.is_feasible());
+        // one instruction = one byte = one cycle
+        assert_eq!(m.cycles(&run(500, 80, 500)), 500);
+    }
+
+    #[test]
+    fn bus_beats_round_up() {
+        assert_eq!(BusWidth::BYTE.beats(5), 5);
+        assert_eq!(BusWidth::WIDE.beats(5), 2);
+        assert_eq!(BusWidth::new(16).beats(5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn invalid_bus_width_panics() {
+        let _ = BusWidth::new(12);
+    }
+
+    #[test]
+    fn seconds_at_12_5_khz() {
+        let m = TimingModel::flexicore4();
+        let s = m.seconds(&run(12_500, 0, 12_500), 12_500.0);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

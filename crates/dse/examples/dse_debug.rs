@@ -1,0 +1,35 @@
+//! DSE debugging helper: dumps every design point's cost and geomean
+//! kernel results plus a base-vs-pipelined cycle comparison per kernel.
+
+use flexdse::codesize::suite_total_bits;
+use flexdse::perf::figure11_population;
+
+fn main() {
+    let pop = figure11_population().unwrap();
+    println!(
+        "{:<8} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8}",
+        "cfg", "area", "fmax", "power_mW", "gm_t_ms", "gm_E_uJ", "code"
+    );
+    let bc = suite_total_bits(&pop[0].config).unwrap() as f64;
+    for r in &pop {
+        println!(
+            "{:<8} {:>8.0} {:>8.0} {:>9.2} {:>8.2} {:>8.2} {:>8.2}",
+            r.config.label(),
+            r.cost.area_nand2,
+            r.cost.fmax_hz(4.5),
+            r.cost.static_power_mw(4.5),
+            r.geomean_time_ms(),
+            r.geomean_energy_uj(),
+            suite_total_bits(&r.config).unwrap() as f64 / bc,
+        );
+    }
+    println!("\nper-kernel cycles (base vs Acc P):");
+    for (b, p) in pop[0].kernels.iter().zip(&pop[2].kernels) {
+        println!(
+            "  {:<14} {:>8.0} {:>8.0}",
+            b.kernel.name(),
+            b.cycles,
+            p.cycles
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Benchmark-suite code size per configuration (Figures 9, 10, 12).
+
+use crate::config::CoreConfig;
+use flexasm::AsmError;
+use flexkernels::Kernel;
+
+/// Code size of one kernel under one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelCodeSize {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Machine instructions.
+    pub static_instructions: usize,
+    /// Bits of program storage (the Figure 12 metric).
+    pub bits: usize,
+}
+
+/// Assemble every kernel for `config` and collect code sizes.
+///
+/// # Errors
+///
+/// Propagates assembler errors (a mnemonic without hardware or software
+/// lowering on the configuration).
+pub fn suite_code_sizes(config: &CoreConfig) -> Result<Vec<KernelCodeSize>, AsmError> {
+    let target = config.target();
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| {
+            let asm = kernel.assemble(target)?;
+            Ok(KernelCodeSize {
+                kernel,
+                static_instructions: asm.static_instructions(),
+                bits: asm.code_bits(),
+            })
+        })
+        .collect()
+}
+
+/// Total bits of the whole benchmark suite under `config`.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn suite_total_bits(config: &CoreConfig) -> Result<usize, AsmError> {
+    Ok(suite_code_sizes(config)?.iter().map(|k| k.bits).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OperandModel;
+    use flexicore::isa::features::{Feature, FeatureSet};
+    use flexicore::uarch::Microarch;
+
+    fn acc_cfg(features: FeatureSet) -> CoreConfig {
+        CoreConfig {
+            operand: OperandModel::Accumulator,
+            uarch: Microarch::SingleCycle,
+            features,
+        }
+    }
+
+    #[test]
+    fn every_dse_core_assembles_the_suite() {
+        for c in CoreConfig::dse_cores() {
+            let sizes = suite_code_sizes(&c).unwrap_or_else(|e| panic!("{}: {e}", c.label()));
+            assert_eq!(sizes.len(), 7);
+        }
+    }
+
+    #[test]
+    fn extensions_shrink_the_suite() {
+        let base = suite_total_bits(&CoreConfig::flexicore4()).unwrap();
+        let revised = suite_total_bits(&acc_cfg(FeatureSet::revised())).unwrap();
+        assert!(
+            (revised as f64) < 0.8 * base as f64,
+            "revised {revised} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn barrel_shifter_helps_shift_heavy_kernels_most() {
+        let base = suite_code_sizes(&CoreConfig::flexicore4()).unwrap();
+        let shifter = suite_code_sizes(&acc_cfg(FeatureSet::only(Feature::BarrelShifter))).unwrap();
+        let ratio = |k: Kernel| {
+            let b = base.iter().find(|x| x.kernel == k).unwrap().bits as f64;
+            let s = shifter.iter().find(|x| x.kernel == k).unwrap().bits as f64;
+            s / b
+        };
+        // IntAvg and XorShift8 use right shifts (Figure 10)
+        assert!(ratio(Kernel::IntAvg) < 0.55, "{}", ratio(Kernel::IntAvg));
+        assert!(
+            ratio(Kernel::XorShift8) < 0.75,
+            "{}",
+            ratio(Kernel::XorShift8)
+        );
+        // Thresholding has no shifts: nearly unchanged
+        assert!(ratio(Kernel::Thresholding) > 0.9);
+    }
+
+    #[test]
+    fn double_regfile_does_not_change_code_size() {
+        // Figure 9: "Increasing the size of data-memory does not effect
+        // test code size"
+        let base = suite_total_bits(&acc_cfg(FeatureSet::BASE)).unwrap();
+        let doubled = suite_total_bits(&acc_cfg(FeatureSet::only(Feature::DoubleRegfile))).unwrap();
+        assert_eq!(base, doubled);
+    }
+}

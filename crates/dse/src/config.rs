@@ -1,0 +1,159 @@
+//! The explored design space (§6.2): operand model × microarchitecture ×
+//! feature set.
+
+use flexicore::isa::features::FeatureSet;
+use flexicore::isa::Dialect;
+use flexicore::uarch::Microarch;
+
+/// How many operands an instruction names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandModel {
+    /// One operand; the accumulator is implicit (8-bit instructions).
+    Accumulator,
+    /// Two operands over a register file (16-bit instructions).
+    LoadStore,
+}
+
+impl OperandModel {
+    /// The ISA dialect implementing this operand model.
+    #[must_use]
+    pub fn dialect(self) -> Dialect {
+        match self {
+            OperandModel::Accumulator => Dialect::ExtendedAcc,
+            OperandModel::LoadStore => Dialect::LoadStore,
+        }
+    }
+
+    /// Short label (`Acc` / `LS`) used in figure output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OperandModel::Accumulator => "Acc",
+            OperandModel::LoadStore => "LS",
+        }
+    }
+
+    /// Width in bits of the *common* instruction encoding (the
+    /// accumulator dialects' two-byte branches stall a beat rather than
+    /// changing the common width).
+    #[must_use]
+    pub fn common_insn_bits(self) -> u32 {
+        match self {
+            OperandModel::Accumulator => 8,
+            OperandModel::LoadStore => 16,
+        }
+    }
+}
+
+/// One point of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreConfig {
+    /// Operand model.
+    pub operand: OperandModel,
+    /// Microarchitecture.
+    pub uarch: Microarch,
+    /// Enabled ISA extensions.
+    pub features: FeatureSet,
+}
+
+impl CoreConfig {
+    /// The fabricated FlexiCore4 expressed as a design point (accumulator,
+    /// single cycle, no extensions).
+    #[must_use]
+    pub fn flexicore4() -> CoreConfig {
+        CoreConfig {
+            operand: OperandModel::Accumulator,
+            uarch: Microarch::SingleCycle,
+            features: FeatureSet::BASE,
+        }
+    }
+
+    /// The six DSE cores of §6.2/Figure 11: both operand models × all
+    /// three microarchitectures, all with the revised operation set.
+    #[must_use]
+    pub fn dse_cores() -> Vec<CoreConfig> {
+        let mut v = Vec::with_capacity(6);
+        for operand in [OperandModel::Accumulator, OperandModel::LoadStore] {
+            for uarch in Microarch::ALL {
+                v.push(CoreConfig {
+                    operand,
+                    uarch,
+                    features: FeatureSet::revised(),
+                });
+            }
+        }
+        v
+    }
+
+    /// Figure-style label (`Acc SC`, `LS P`, …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{} {}", self.operand.label(), self.uarch.label())
+    }
+
+    /// The assembler target for this configuration. The base accumulator
+    /// point is the *actual* FlexiCore4 dialect (one-byte branches); every
+    /// extended point uses the DSE encodings.
+    #[must_use]
+    pub fn target(&self) -> flexasm::Target {
+        if self.operand == OperandModel::Accumulator && self.uses_base_encoding() {
+            return flexasm::Target::fc4();
+        }
+        flexasm::Target {
+            dialect: self.operand.dialect(),
+            features: self.features,
+        }
+    }
+
+    /// Whether the configuration adds no *instructions* over FlexiCore4
+    /// (the doubled register file changes only the data memory, §6.1, so
+    /// it keeps the base encoding).
+    fn uses_base_encoding(&self) -> bool {
+        use flexicore::isa::features::Feature;
+        self.features.without(Feature::DoubleRegfile).is_base()
+    }
+
+    /// Width in bits of this configuration's common instruction encoding.
+    #[must_use]
+    pub fn common_insn_bits(&self) -> u32 {
+        self.operand.common_insn_bits()
+    }
+}
+
+impl core::fmt::Display for CoreConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} [{}]", self.label(), self.features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_dse_cores() {
+        let cores = CoreConfig::dse_cores();
+        assert_eq!(cores.len(), 6);
+        let labels: Vec<String> = cores.iter().map(CoreConfig::label).collect();
+        assert_eq!(
+            labels,
+            ["Acc SC", "Acc P", "Acc MC", "LS SC", "LS P", "LS MC"]
+        );
+        assert!(cores.iter().all(|c| !c.features.is_base()));
+    }
+
+    #[test]
+    fn flexicore4_point() {
+        let f = CoreConfig::flexicore4();
+        assert_eq!(f.label(), "Acc SC");
+        assert!(f.features.is_base());
+        assert_eq!(f.target().dialect, Dialect::Fc4);
+        assert_eq!(f.common_insn_bits(), 8);
+    }
+
+    #[test]
+    fn common_instruction_widths() {
+        assert_eq!(OperandModel::Accumulator.common_insn_bits(), 8);
+        assert_eq!(OperandModel::LoadStore.common_insn_bits(), 16);
+    }
+}

@@ -1,0 +1,46 @@
+//! # flexdse
+//!
+//! The paper's design-space exploration (§6): ISA extensions, operand
+//! models and microarchitectures for flexible microprocessors.
+//!
+//! * [`config`] — the explored axes: accumulator vs load-store, single
+//!   cycle / two-stage pipeline / multicycle, and the seven candidate ISA
+//!   [`Feature`](flexicore::isa::features::Feature)s.
+//! * [`area`] — gate-derived cost models: every configuration's area,
+//!   device count, static power and critical path are composed from real
+//!   `flexgate` component netlists (register files, adders, shifters,
+//!   multipliers, pipeline registers).
+//! * [`codesize`] — benchmark-suite code size per configuration, via the
+//!   feature-conditional assembler (Figures 9 and 10).
+//! * [`perf`] — kernel performance and energy for every DSE core relative
+//!   to the fabricated FlexiCore4, including the program-bus-width
+//!   constraint (Figures 11 and 13).
+//! * [`pareto`] — the area/code-size trade-off view (Figure 12) and the
+//!   §6.3 headline summary.
+//! * [`sweep`] — beyond the paper: an exhaustive sweep over all 2⁷
+//!   feature combinations with its Pareto frontier.
+//!
+//! ```
+//! use flexdse::area::estimate;
+//! use flexdse::config::CoreConfig;
+//!
+//! // the baseline design point is exactly the fabricated FlexiCore4
+//! let base = estimate(&CoreConfig::flexicore4());
+//! assert!((550.0..700.0).contains(&base.area_nand2));
+//! // and the revised cores pay the paper's modest area premium
+//! for core in CoreConfig::dse_cores() {
+//!     assert!(estimate(&core).area_nand2 > base.area_nand2);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod codesize;
+pub mod config;
+pub mod pareto;
+pub mod perf;
+pub mod sweep;
+
+pub use config::{CoreConfig, OperandModel};

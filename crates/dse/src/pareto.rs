@@ -1,0 +1,183 @@
+//! Area/code-size trade-off views (Figure 12) and the §6.3 headline
+//! summary.
+
+use crate::area::estimate;
+use crate::codesize::suite_total_bits;
+use crate::config::CoreConfig;
+use crate::perf::{figure11_population, ConfigResult};
+use flexasm::AsmError;
+use flexkernels::RunError;
+
+/// One point of Figure 12: normalized area vs normalized suite code size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// The design point.
+    pub config: CoreConfig,
+    /// Area relative to the FlexiCore4 baseline.
+    pub rel_area: f64,
+    /// Benchmark-suite code bits relative to the baseline.
+    pub rel_code: f64,
+}
+
+/// Compute Figure 12's six points (plus the baseline at (1, 1)).
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn figure12_points() -> Result<Vec<TradeoffPoint>, AsmError> {
+    let base_cfg = CoreConfig::flexicore4();
+    let base_area = estimate(&base_cfg).area_nand2;
+    let base_code = suite_total_bits(&base_cfg)? as f64;
+    let mut out = vec![TradeoffPoint {
+        config: base_cfg,
+        rel_area: 1.0,
+        rel_code: 1.0,
+    }];
+    for config in CoreConfig::dse_cores() {
+        out.push(TradeoffPoint {
+            config,
+            rel_area: estimate(&config).area_nand2 / base_area,
+            rel_code: suite_total_bits(&config)? as f64 / base_code,
+        });
+    }
+    Ok(out)
+}
+
+/// Points not dominated on (area, code size) — smaller is better on both.
+#[must_use]
+pub fn pareto_frontier(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                (q.rel_area < p.rel_area && q.rel_code <= p.rel_code)
+                    || (q.rel_area <= p.rel_area && q.rel_code < p.rel_code)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// The §6.3 headline numbers across the DSE cores, all relative to the
+/// FlexiCore4 baseline.
+#[derive(Debug, Clone)]
+pub struct DseSummary {
+    /// Min/max relative energy (paper: 0.45–0.56 for the CPI-1 cores).
+    pub energy_range: (f64, f64),
+    /// Min/max relative area (paper: 1.09–1.37).
+    pub area_range: (f64, f64),
+    /// Best relative suite code size (paper: < 0.30 for the best points).
+    pub best_code: f64,
+    /// Min/max speedup of the single-cycle and pipelined cores (paper:
+    /// 1.53–2.15).
+    pub speedup_range: (f64, f64),
+    /// The full population backing the summary.
+    pub population: Vec<ConfigResult>,
+}
+
+/// Compute the summary.
+///
+/// # Errors
+///
+/// Propagates kernel errors; assembler errors are reported through the
+/// same type.
+pub fn summarize() -> Result<DseSummary, RunError> {
+    let population = figure11_population()?;
+    let base = &population[0];
+    let base_energy = base.geomean_energy_uj();
+    let base_time = base.geomean_time_ms();
+    let base_area = base.cost.area_nand2;
+    let base_code = suite_total_bits(&base.config).map_err(RunError::Asm)? as f64;
+
+    let mut energy = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut area = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut speedup = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut best_code = f64::INFINITY;
+    for r in &population[1..] {
+        let e = r.geomean_energy_uj() / base_energy;
+        energy = (energy.0.min(e), energy.1.max(e));
+        let a = r.cost.area_nand2 / base_area;
+        area = (area.0.min(a), area.1.max(a));
+        let code = suite_total_bits(&r.config).map_err(RunError::Asm)? as f64 / base_code;
+        best_code = best_code.min(code);
+        if r.config.uarch != flexicore::uarch::Microarch::MultiCycle {
+            let s = base_time / r.geomean_time_ms();
+            speedup = (speedup.0.min(s), speedup.1.max(s));
+        }
+    }
+    Ok(DseSummary {
+        energy_range: energy,
+        area_range: area,
+        best_code,
+        speedup_range: speedup,
+        population,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure12_shape() {
+        let pts = figure12_points().unwrap();
+        assert_eq!(pts.len(), 7);
+        // every DSE core has denser code than the base ISA
+        for p in &pts[1..] {
+            assert!(
+                p.rel_code < 1.0,
+                "{}: rel code {}",
+                p.config.label(),
+                p.rel_code
+            );
+            assert!(
+                p.rel_area > 1.0,
+                "{}: rel area {}",
+                p.config.label(),
+                p.rel_area
+            );
+        }
+        // load-store achieves the densest code (Figure 12: "slightly
+        // higher code density due to the extra expressivity")
+        let best = pts[1..]
+            .iter()
+            .min_by(|a, b| a.rel_code.total_cmp(&b.rel_code))
+            .unwrap();
+        assert_eq!(best.config.operand, crate::config::OperandModel::LoadStore);
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_undominated() {
+        let pts = figure12_points().unwrap();
+        let front = pareto_frontier(&pts);
+        assert!(!front.is_empty());
+        for p in &front {
+            for q in &pts {
+                assert!(
+                    !(q.rel_area < p.rel_area && q.rel_code < p.rel_code),
+                    "{} dominated by {}",
+                    p.config.label(),
+                    q.config.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn headline_summary_bands() {
+        // paper: energy 45-56 %, area +9-37 %, code < 30 %, speedup
+        // 53-115 %. Our baseline kernels are denser than the authors', so
+        // the energy/code magnitudes are attenuated (see EXPERIMENTS.md);
+        // the directions and the area band must still hold.
+        let s = summarize().unwrap();
+        assert!(s.energy_range.0 < 0.82, "best energy {:?}", s.energy_range);
+        assert!(s.energy_range.1 < 1.25, "worst energy {:?}", s.energy_range);
+        assert!(
+            s.area_range.0 > 1.05 && s.area_range.1 < 1.8,
+            "{:?}",
+            s.area_range
+        );
+        assert!(s.best_code < 0.60, "best code {}", s.best_code);
+        assert!(s.speedup_range.1 > 1.5, "{:?}", s.speedup_range);
+    }
+}

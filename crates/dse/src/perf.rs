@@ -1,0 +1,241 @@
+//! Kernel performance and energy per design point (Figures 11 and 13).
+//!
+//! For each configuration, kernels run on the matching functional
+//! simulator (so dynamic instruction counts are measured, not modelled),
+//! the [`TimingModel`] turns architectural counts into clock cycles, the
+//! composed [`CoreCost`] supplies fmax and static
+//! power, and energy is static power × runtime — the only kind of energy
+//! 0.8 µm IGZO has (§3.1).
+//!
+//! [`CoreCost`]: crate::area::CoreCost
+
+use crate::area::{estimate, CoreCost};
+use crate::config::CoreConfig;
+use flexicore::uarch::{BusWidth, TimingModel};
+use flexkernels::harness::measure;
+use flexkernels::inputs::Sampler;
+use flexkernels::{Kernel, RunError};
+
+/// Supply voltage for the DSE energy studies.
+pub const DSE_VOLTAGE: f64 = 4.5;
+/// Input cases sampled per kernel.
+pub const CASES_PER_KERNEL: usize = 12;
+/// Sampling seed (shared by every configuration so all cores see the
+/// same inputs).
+pub const INPUT_SEED: u64 = 0x0D5E;
+
+/// Performance/energy of one kernel on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelPoint {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Mean clock cycles per execution.
+    pub cycles: f64,
+    /// Mean execution time in milliseconds.
+    pub time_ms: f64,
+    /// Mean energy per execution in microjoules.
+    pub energy_uj: f64,
+}
+
+/// A configuration with its cost and per-kernel results.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// The design point.
+    pub config: CoreConfig,
+    /// Its composed hardware cost.
+    pub cost: CoreCost,
+    /// Whether the (uarch, bus) combination can sustain its CPI.
+    pub feasible: bool,
+    /// Per-kernel measurements.
+    pub kernels: Vec<KernelPoint>,
+}
+
+impl ConfigResult {
+    /// Geometric-mean time across kernels (ms).
+    #[must_use]
+    pub fn geomean_time_ms(&self) -> f64 {
+        geomean(self.kernels.iter().map(|k| k.time_ms))
+    }
+
+    /// Geometric-mean energy across kernels (µJ).
+    #[must_use]
+    pub fn geomean_energy_uj(&self) -> f64 {
+        geomean(self.kernels.iter().map(|k| k.energy_uj))
+    }
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Measure `config` over the benchmark suite with the given program bus.
+///
+/// # Errors
+///
+/// Propagates kernel assembly/simulation errors.
+pub fn evaluate(config: &CoreConfig, bus: BusWidth) -> Result<ConfigResult, RunError> {
+    let cost = estimate(config);
+    let timing = TimingModel {
+        microarch: config.uarch,
+        bus,
+        common_insn_bits: config.common_insn_bits(),
+    };
+    let fmax = cost.fmax_hz(DSE_VOLTAGE);
+    let power_mw = cost.static_power_mw(DSE_VOLTAGE);
+    let target = config.target();
+
+    let mut kernels = Vec::with_capacity(Kernel::ALL.len());
+    for kernel in Kernel::ALL {
+        let cases = Sampler::new(kernel, INPUT_SEED).draw_many(CASES_PER_KERNEL);
+        let stats = measure(kernel, target, &cases)?;
+        // reconstruct a mean RunResult for the timing model
+        let run = flexicore::sim::RunResult {
+            cycles: stats.mean_cycles.round() as u64,
+            instructions: stats.mean_instructions.round() as u64,
+            taken_branches: stats.mean_taken_branches.round() as u64,
+            fetched_bytes: stats.mean_fetched_bytes.round() as u64,
+            stop: flexicore::sim::StopReason::Halted,
+        };
+        let cycles = timing.cycles(&run) as f64;
+        let time_ms = cycles / fmax * 1_000.0;
+        let energy_uj = power_mw * time_ms; // mW × ms = µJ
+        kernels.push(KernelPoint {
+            kernel,
+            cycles,
+            time_ms,
+            energy_uj,
+        });
+    }
+    Ok(ConfigResult {
+        config: *config,
+        cost,
+        feasible: timing.is_feasible(),
+        kernels,
+    })
+}
+
+/// Evaluate the FlexiCore4 baseline and all six DSE cores (Figure 11's
+/// population) with an integrated-memory-width bus.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn figure11_population() -> Result<Vec<ConfigResult>, RunError> {
+    let mut out = vec![evaluate(&CoreConfig::flexicore4(), BusWidth::WIDE)?];
+    for c in CoreConfig::dse_cores() {
+        out.push(evaluate(&c, BusWidth::WIDE)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OperandModel;
+    use flexicore::isa::features::FeatureSet;
+    use flexicore::uarch::Microarch;
+
+    #[test]
+    fn baseline_energy_matches_fabricated_scale() {
+        // the FlexiCore4 baseline should land in Figure 8's energy range
+        // (tens of µJ per kernel execution)
+        let r = evaluate(&CoreConfig::flexicore4(), BusWidth::WIDE).unwrap();
+        for k in &r.kernels {
+            assert!(
+                (0.5..2_000.0).contains(&k.energy_uj),
+                "{}: {} µJ",
+                k.kernel,
+                k.energy_uj
+            );
+        }
+    }
+
+    #[test]
+    fn dse_cores_beat_the_baseline_on_energy() {
+        // §6.3's direction: the DSE cores consume less energy than the
+        // base design, with the load-store machines leading when a wide
+        // program bus is available. Our magnitudes are smaller than the
+        // paper's 45-56 % because our base-ISA kernels are denser than the
+        // authors' (see EXPERIMENTS.md), but the ordering must hold.
+        let pop = figure11_population().unwrap();
+        let base = pop[0].geomean_energy_uj();
+        let rel = |label: &str| {
+            pop.iter()
+                .find(|r| r.config.label() == label)
+                .map(|r| r.geomean_energy_uj() / base)
+                .unwrap()
+        };
+        // load-store cores clearly beat the baseline
+        assert!(rel("LS SC") < 0.9, "LS SC {:.2}", rel("LS SC"));
+        assert!(rel("LS P") < 0.95, "LS P {:.2}", rel("LS P"));
+        // the best point is well under the baseline
+        let best = pop[1..]
+            .iter()
+            .map(|r| r.geomean_energy_uj() / base)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 0.82, "best relative energy {best:.2}");
+        // multicycle machines are the worst of each family (Figure 11b)
+        assert!(rel("Acc MC") > rel("Acc P"));
+        assert!(rel("LS MC") > rel("LS P"));
+        // accumulator machines stay in the baseline's neighbourhood
+        assert!(rel("Acc SC") < 1.05, "Acc SC {:.2}", rel("Acc SC"));
+    }
+
+    #[test]
+    fn narrow_bus_rules_out_ls_cpi1() {
+        let ls_sc = CoreConfig {
+            operand: OperandModel::LoadStore,
+            uarch: Microarch::SingleCycle,
+            features: FeatureSet::revised(),
+        };
+        let wide = evaluate(&ls_sc, BusWidth::WIDE).unwrap();
+        assert!(wide.feasible);
+        let narrow = evaluate(&ls_sc, BusWidth::BYTE).unwrap();
+        assert!(!narrow.feasible, "16-bit instructions over an 8-bit bus");
+        let ls_mc = CoreConfig {
+            uarch: Microarch::MultiCycle,
+            ..ls_sc
+        };
+        assert!(evaluate(&ls_mc, BusWidth::BYTE).unwrap().feasible);
+    }
+
+    #[test]
+    fn shift_heavy_kernels_speed_up_most() {
+        // Figure 11 commentary: XorShift8 and IntAVG gain from the shifter
+        let base = evaluate(&CoreConfig::flexicore4(), BusWidth::WIDE).unwrap();
+        let acc_p = evaluate(
+            &CoreConfig {
+                operand: OperandModel::Accumulator,
+                uarch: Microarch::TwoStage,
+                features: FeatureSet::revised(),
+            },
+            BusWidth::WIDE,
+        )
+        .unwrap();
+        let speedup = |k: Kernel| {
+            let b = base.kernels.iter().find(|x| x.kernel == k).unwrap().time_ms;
+            let p = acc_p
+                .kernels
+                .iter()
+                .find(|x| x.kernel == k)
+                .unwrap()
+                .time_ms;
+            b / p
+        };
+        assert!(speedup(Kernel::IntAvg) > 2.0, "{}", speedup(Kernel::IntAvg));
+        assert!(
+            speedup(Kernel::IntAvg) > speedup(Kernel::Calculator),
+            "calculator is IO-bound and should gain least"
+        );
+    }
+}

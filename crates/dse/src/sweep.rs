@@ -1,0 +1,136 @@
+//! Exhaustive sweep over all 2⁷ feature combinations.
+//!
+//! The paper evaluates seven single-extension points and one revised
+//! bundle (§6.1). With everything mechanized, nothing stops us from
+//! sweeping the entire power set: each combination gets a gate-derived
+//! area and the benchmark suite's code size, and the Pareto frontier
+//! over (area, code) shows which extensions *earn* their gates — an
+//! extension of the paper's methodology rather than a reproduction of a
+//! figure.
+
+use crate::area::estimate;
+use crate::codesize::suite_code_sizes;
+use crate::config::{CoreConfig, OperandModel};
+use flexasm::AsmError;
+use flexicore::isa::features::FeatureSet;
+use flexicore::uarch::Microarch;
+
+/// One swept combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The feature combination.
+    pub features: FeatureSet,
+    /// Core area, NAND2 equivalents (single-cycle accumulator).
+    pub area_nand2: f64,
+    /// Benchmark-suite size in machine instructions.
+    pub suite_instructions: usize,
+    /// Benchmark-suite size in bits.
+    pub suite_bits: usize,
+}
+
+/// Evaluate every feature combination on the single-cycle accumulator
+/// machine.
+///
+/// # Errors
+///
+/// Propagates assembler errors (none are expected: every combination can
+/// assemble the suite through software fallbacks).
+pub fn sweep_all_combinations() -> Result<Vec<SweepPoint>, AsmError> {
+    FeatureSet::all_combinations()
+        .map(|features| {
+            let config = CoreConfig {
+                operand: OperandModel::Accumulator,
+                uarch: Microarch::SingleCycle,
+                features,
+            };
+            let sizes = suite_code_sizes(&config)?;
+            Ok(SweepPoint {
+                features,
+                area_nand2: estimate(&config).area_nand2,
+                suite_instructions: sizes.iter().map(|k| k.static_instructions).sum(),
+                suite_bits: sizes.iter().map(|k| k.bits).sum(),
+            })
+        })
+        .collect()
+}
+
+/// The subset of `points` not dominated on (area, suite instructions) —
+/// smaller is better on both.
+#[must_use]
+pub fn code_area_frontier(points: &[SweepPoint]) -> Vec<SweepPoint> {
+    let mut frontier: Vec<SweepPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                (q.area_nand2 < p.area_nand2 && q.suite_instructions <= p.suite_instructions)
+                    || (q.area_nand2 <= p.area_nand2 && q.suite_instructions < p.suite_instructions)
+            })
+        })
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| a.area_nand2.total_cmp(&b.area_nand2));
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexicore::isa::features::Feature;
+
+    #[test]
+    fn sweeps_all_128_combinations() {
+        let points = sweep_all_combinations().unwrap();
+        assert_eq!(points.len(), 128);
+        // every point assembles the whole suite
+        assert!(points.iter().all(|p| p.suite_instructions > 100));
+    }
+
+    #[test]
+    fn more_features_never_grow_the_suite() {
+        // adding hardware can only shrink (or keep) instruction counts
+        let points = sweep_all_combinations().unwrap();
+        let by_set = |set: FeatureSet| {
+            points
+                .iter()
+                .find(|p| p.features == set)
+                .unwrap()
+                .suite_instructions
+        };
+        let base = by_set(FeatureSet::BASE);
+        for f in Feature::ALL {
+            assert!(
+                by_set(FeatureSet::only(f)) <= base,
+                "{f} must not inflate instruction counts"
+            );
+        }
+        let revised = by_set(FeatureSet::revised());
+        assert!(revised < base);
+        // the revised set is at least as dense as each of its members
+        for f in FeatureSet::revised().iter() {
+            assert!(revised <= by_set(FeatureSet::only(f)), "{f}");
+        }
+    }
+
+    #[test]
+    fn frontier_ends_points_are_sane() {
+        let points = sweep_all_combinations().unwrap();
+        let frontier = code_area_frontier(&points);
+        assert!(!frontier.is_empty());
+        // the cheapest frontier point is the base machine
+        assert!(frontier[0].features.is_base(), "{:?}", frontier[0].features);
+        // the frontier is monotone: area up, instructions down
+        for w in frontier.windows(2) {
+            assert!(w[1].area_nand2 > w[0].area_nand2);
+            assert!(w[1].suite_instructions < w[0].suite_instructions);
+        }
+        // the multiplier-only point buys no code and real area: dominated
+        let mul_only = points
+            .iter()
+            .find(|p| p.features == FeatureSet::only(Feature::Multiplier))
+            .unwrap();
+        assert!(
+            !frontier.iter().any(|p| p.features == mul_only.features),
+            "multiplier-only must not be on the frontier"
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Calibration helper: prints both cores' yield and current numbers at
+//! both test voltages so `flexfab::calibration` constants can be tuned
+//! against Table 5 quickly. Not part of the published experiment set.
+
+use flexfab::wafer_run::{CoreDesign, WaferExperiment};
+
+fn main() {
+    for design in [CoreDesign::FlexiCore4, CoreDesign::FlexiCore8] {
+        let exp = WaferExperiment::published(design);
+        for v in [3.0, 4.5] {
+            let run = exp.run(v, 20_000);
+            println!(
+                "{:<12} {v} V: full {:>4.0}%  inclusion {:>4.0}%   I(mean) {:.2} mA rsd {:.3}",
+                design.name(),
+                run.yield_full() * 100.0,
+                run.yield_inclusion() * 100.0,
+                run.current_stats().mean_ma,
+                run.current_stats().rsd,
+            );
+        }
+    }
+}

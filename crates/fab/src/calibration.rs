@@ -1,0 +1,112 @@
+//! The fab's calibration constants — every tunable of the process model
+//! lives here, with the measurement it was fitted against.
+//!
+//! The *shapes* of the paper's results (who yields better, where the
+//! 3 V / 4.5 V crossover falls, how current tracks voltage) emerge from
+//! the netlists and the physics-flavoured models; only the absolute
+//! scales below are fitted.
+
+/// Wafer geometry (paper Figure 4: 200 mm wafer, 16 mm edge exclusion,
+/// 123 FlexiCore4 dies).
+pub mod geometry {
+    /// Wafer radius in mm.
+    pub const WAFER_RADIUS_MM: f64 = 100.0;
+    /// Width of the edge exclusion ring in mm.
+    pub const EDGE_EXCLUSION_MM: f64 = 16.0;
+    /// Die placement pitch in mm (calibrated to put ≈123 dies on the
+    /// wafer, as in Figure 4).
+    pub const DIE_PITCH_MM: f64 = 15.2;
+    /// Margin from the physical edge for a die centre to be placeable.
+    pub const PLACEMENT_MARGIN_MM: f64 = 5.0;
+}
+
+/// Defect model: each die draws `Poisson(density × area × radial(r))`
+/// manufacturing defects, realised as random stuck-at faults.
+pub mod defects {
+    /// Defects per mm² at the wafer centre, FlexiCore4 wafer. Fitted to
+    /// the 81 % inclusion-zone yield at 4.5 V (Table 5).
+    pub const FC4_WAFER_DENSITY_PER_MM2: f64 = 0.040;
+
+    /// Defects per mm² at the wafer centre, FlexiCore8 wafer. The paper's
+    /// FlexiCore8 dies came from a different wafer with visibly worse
+    /// defectivity (57 % at 4.5 V despite only ~9 % more gates); fitted
+    /// accordingly.
+    pub const FC8_WAFER_DENSITY_PER_MM2: f64 = 0.052;
+
+    /// Multiplier applied inside the 16 mm edge-exclusion ring (edge
+    /// effects; fitted to the full-wafer vs inclusion-zone yield gap:
+    /// 63 % vs 81 % for FlexiCore4 at 4.5 V).
+    pub const EDGE_MULTIPLIER: f64 = 8.0;
+
+    /// Mild radial defectivity growth inside the inclusion zone:
+    /// `1 + RADIAL_COEFF × (r/R)⁴`.
+    pub const RADIAL_COEFF: f64 = 1.0;
+}
+
+/// Timing-variation model: each die's logic runs slower or faster than
+/// nominal by a lognormal factor.
+pub mod timing {
+    /// Sigma of `ln(delay_factor)`. Fitted jointly to FlexiCore4's 3 V
+    /// yield knockdown (81 % → 55 % in the inclusion zone) and
+    /// FlexiCore8's collapse at 3 V (57 % → 6 %), given the nominal
+    /// fmax values of the two netlists.
+    pub const DELAY_SIGMA: f64 = 0.29;
+
+    /// Radial slow-down: dies near the edge are slightly slower,
+    /// `delay ×= 1 + RADIAL_COEFF × (r/R)²`.
+    pub const RADIAL_COEFF: f64 = 0.05;
+
+    /// The test clock (§4.1: "clock frequencies up to 12.5 kHz").
+    pub const TEST_CLOCK_HZ: f64 = 12_500.0;
+}
+
+/// Current-draw variation (Figure 7).
+pub mod current {
+    /// Relative sigma of the per-die lognormal current factor on the
+    /// FlexiCore4 wafer (paper: 15.3 % RSD).
+    pub const FC4_WAFER_SIGMA: f64 = 0.153;
+
+    /// Same for the FlexiCore8 wafer (paper: 21.5 % RSD).
+    pub const FC8_WAFER_SIGMA: f64 = 0.215;
+
+    /// Current multiplier from the §4 process refinement (pull-up
+    /// resistance increased by 50 % between the FlexiCore4 and
+    /// FlexiCore8/FlexiCore4+ wafers): I ∝ 1/R.
+    pub const REFINED_PROCESS_FACTOR: f64 = 1.0 / 1.5;
+
+    /// Extra current per defect in mA (shorts leak), uniform in
+    /// `0..DEFECT_LEAK_MA`.
+    pub const DEFECT_LEAK_MA: f64 = 0.12;
+}
+
+/// Default seeds for the published experiments (one per figure/table so
+/// reruns regenerate identical output).
+pub mod seeds {
+    /// Wafer-population seed for the Table 5 / Figure 6 experiments.
+    pub const YIELD: u64 = 0x00F1_EC0A_E501;
+    /// Wafer-population seed for the Figure 7 current maps.
+    pub const CURRENT: u64 = 0x00F1_EC0A_E502;
+}
+
+#[cfg(test)]
+mod tests {
+    /// Guard the calibration's physical orderings against accidental edits
+    /// (`black_box` keeps clippy from flagging compile-time-constant
+    /// assertions — constancy is the point).
+    #[test]
+    fn constants_are_physical() {
+        use std::hint::black_box;
+        assert!(
+            black_box(super::defects::FC8_WAFER_DENSITY_PER_MM2)
+                > black_box(super::defects::FC4_WAFER_DENSITY_PER_MM2)
+        );
+        assert!(black_box(super::defects::EDGE_MULTIPLIER) > 1.0);
+        assert!(black_box(super::current::REFINED_PROCESS_FACTOR) < 1.0);
+        let sigma = black_box(super::timing::DELAY_SIGMA);
+        assert!(sigma > 0.0 && sigma < 1.0);
+        assert!(
+            black_box(super::geometry::EDGE_EXCLUSION_MM)
+                < black_box(super::geometry::WAFER_RADIUS_MM)
+        );
+    }
+}

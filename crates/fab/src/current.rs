@@ -1,0 +1,48 @@
+//! Per-die current draw (paper §4.2, Figure 7).
+//!
+//! A die's supply current is the netlist's nominal static draw scaled by
+//! the die's process factor, plus any defect leakage; resistive pull-ups
+//! make the whole thing linear in supply voltage.
+
+use crate::variation::DieVariation;
+
+/// Current draw of one die, in mA.
+///
+/// `nominal_ma_at_4v5` is the design's fault-free draw at 4.5 V (from
+/// [`flexgate::report`]).
+#[must_use]
+pub fn die_current_ma(nominal_ma_at_4v5: f64, die: &DieVariation, voltage: f64) -> f64 {
+    let scale = voltage / 4.5;
+    (nominal_ma_at_4v5 * die.current_factor + die.defect_leak_ma) * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die(factor: f64, leak: f64) -> DieVariation {
+        DieVariation {
+            defect_count: 0,
+            defect_seed: 0,
+            delay_factor: 1.0,
+            current_factor: factor,
+            defect_leak_ma: leak,
+        }
+    }
+
+    #[test]
+    fn linear_in_voltage() {
+        let d = die(1.0, 0.0);
+        let i45 = die_current_ma(1.1, &d, 4.5);
+        let i30 = die_current_ma(1.1, &d, 3.0);
+        assert!((i30 / i45 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_factor_scales_and_leakage_adds() {
+        let hot = die(1.2, 0.1);
+        let cold = die(0.8, 0.0);
+        assert!(die_current_ma(1.0, &hot, 4.5) > die_current_ma(1.0, &cold, 4.5));
+        assert!((die_current_ma(1.0, &hot, 4.5) - 1.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Lot-level statistics: the paper fabricated "multiple wafers" per
+//! design and reports one randomly chosen wafer per figure (§4.1). A
+//! [`Lot`] fabricates N wafers with wafer-to-wafer defectivity spread and
+//! summarizes the yield distribution — what a production engineer would
+//! look at before quoting the sub-cent cost claim.
+
+use crate::tester::{TestPlan, Tester};
+use crate::variation::draw_wafer;
+use crate::wafer::WaferLayout;
+use crate::wafer_run::{CoreDesign, CurrentStats, WaferRun};
+use flexgate::report::Report;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wafer-to-wafer lognormal sigma on defect density (documented here
+/// rather than in `calibration` because no paper measurement constrains
+/// it; it only widens the lot distribution).
+pub const WAFER_TO_WAFER_SIGMA: f64 = 0.25;
+
+/// A fabricated lot of wafers of one design.
+#[derive(Debug)]
+pub struct Lot {
+    design: CoreDesign,
+    runs: Vec<WaferRun>,
+}
+
+/// Summary statistics over a lot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LotStats {
+    /// Mean inclusion-zone yield across wafers.
+    pub mean_yield: f64,
+    /// Lowest wafer.
+    pub min_yield: f64,
+    /// Highest wafer.
+    pub max_yield: f64,
+    /// Standard deviation of inclusion-zone yield.
+    pub yield_sigma: f64,
+    /// Total functional dies across the lot.
+    pub good_dies: usize,
+    /// Total dies across the lot.
+    pub total_dies: usize,
+}
+
+impl Lot {
+    /// Fabricate and test `wafers` wafers of `design` at `voltage`, with
+    /// `vector_cycles` random test cycles per die.
+    #[must_use]
+    pub fn fabricate(
+        design: CoreDesign,
+        wafers: usize,
+        seed: u64,
+        voltage: f64,
+        vector_cycles: u64,
+    ) -> Self {
+        let netlist = design.netlist();
+        let layout = WaferLayout::new();
+        let area = Report::of(&netlist).total.area_mm2();
+        let nominal_ma = Report::of(&netlist).total.static_current_ma(4.5);
+        let tester = Tester::new(&netlist, TestPlan::quick(vector_cycles));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x107);
+
+        let mut runs = Vec::with_capacity(wafers);
+        for w in 0..wafers {
+            // wafer-to-wafer defectivity enters as an effective area scale
+            // (λ = density × area, so the two are interchangeable)
+            let z: f64 = rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64);
+            let scale = (z * WAFER_TO_WAFER_SIGMA).exp();
+            let wafer_seed = seed.wrapping_add(w as u64).wrapping_mul(0x9E37_79B9);
+            let variations = draw_wafer(design.recipe(), wafer_seed, layout.sites(), area * scale);
+            let outcomes = tester.test_wafer(&variations, voltage);
+            let currents = variations
+                .iter()
+                .map(|v| crate::current::die_current_ma(nominal_ma, v, voltage))
+                .collect();
+            runs.push(WaferRun {
+                sites: layout.sites().to_vec(),
+                variations,
+                outcomes,
+                currents_ma: currents,
+                voltage,
+            });
+        }
+        Lot { design, runs }
+    }
+
+    /// The design fabricated.
+    #[must_use]
+    pub fn design(&self) -> CoreDesign {
+        self.design
+    }
+
+    /// The individual wafer runs.
+    #[must_use]
+    pub fn runs(&self) -> &[WaferRun] {
+        &self.runs
+    }
+
+    /// Yield statistics across the lot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty lot.
+    #[must_use]
+    pub fn stats(&self) -> LotStats {
+        assert!(!self.runs.is_empty(), "lot has no wafers");
+        let yields: Vec<f64> = self.runs.iter().map(WaferRun::yield_inclusion).collect();
+        let n = yields.len() as f64;
+        let mean = yields.iter().sum::<f64>() / n;
+        let var = yields.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / n;
+        let good = self
+            .runs
+            .iter()
+            .flat_map(|r| &r.outcomes)
+            .filter(|o| o.functional())
+            .count();
+        let total = self.runs.iter().map(|r| r.outcomes.len()).sum();
+        LotStats {
+            mean_yield: mean,
+            min_yield: yields.iter().copied().fold(f64::INFINITY, f64::min),
+            max_yield: yields.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            yield_sigma: var.sqrt(),
+            good_dies: good,
+            total_dies: total,
+        }
+    }
+
+    /// Pooled current statistics over every functional die in the lot.
+    #[must_use]
+    pub fn current_stats(&self) -> CurrentStats {
+        let values: Vec<f64> = self
+            .runs
+            .iter()
+            .flat_map(|r| {
+                r.outcomes
+                    .iter()
+                    .zip(&r.currents_ma)
+                    .filter(|(o, _)| o.functional())
+                    .map(|(_, &c)| c)
+            })
+            .collect();
+        CurrentStats::of(&values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lot_of_four_wafers_yields_in_band() {
+        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 4, 11, 4.5, 800);
+        let s = lot.stats();
+        assert_eq!(lot.runs().len(), 4);
+        assert!(s.total_dies > 400);
+        assert!((0.5..1.0).contains(&s.mean_yield), "{s:?}");
+        assert!(s.min_yield <= s.mean_yield && s.mean_yield <= s.max_yield);
+    }
+
+    #[test]
+    fn wafer_to_wafer_spread_is_visible() {
+        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 6, 5, 4.5, 500);
+        let s = lot.stats();
+        assert!(s.yield_sigma > 0.005, "wafers should differ: {s:?}");
+        assert!(s.max_yield - s.min_yield > 0.01, "{s:?}");
+    }
+
+    #[test]
+    fn lots_are_reproducible() {
+        let a = Lot::fabricate(CoreDesign::FlexiCore8, 2, 3, 3.0, 300).stats();
+        let b = Lot::fabricate(CoreDesign::FlexiCore8, 2, 3, 3.0, 300).stats();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pooled_current_matches_single_wafer_scale() {
+        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 3, 9, 4.5, 300);
+        let c = lot.current_stats();
+        assert!((0.8..1.5).contains(&c.mean_ma), "{c:?}");
+        assert!(c.count > 200);
+    }
+}

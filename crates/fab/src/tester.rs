@@ -1,0 +1,346 @@
+//! The virtual probe station (paper §4.1, Figure 5).
+//!
+//! Each die is tested against "over 100,000 cycles of random and directed
+//! test vectors"; a die is fully functional iff **zero** differences are
+//! observed between its outputs and the golden RTL behaviour across all
+//! vectors. Here the golden reference is lane 0 of the batch simulator
+//! (the fault-free netlist) and up to 63 faulty dies ride in the other
+//! lanes of the same simulation.
+//!
+//! Timing is checked separately: a die whose variation-scaled fmax falls
+//! below the 12.5 kHz test clock produces output errors proportional to
+//! its shortfall (a slow die misses capture on some fraction of cycles).
+
+use crate::calibration::timing::TEST_CLOCK_HZ;
+use crate::variation::DieVariation;
+use flexgate::fault::random_sites;
+use flexgate::netlist::Netlist;
+use flexgate::sim::BatchSim;
+use flexgate::timing::{analyze, DelayModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many vectors to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestPlan {
+    /// Cycles of directed vectors (sweep of every instruction byte with
+    /// varying input-port data).
+    pub directed_cycles: u64,
+    /// Cycles of fully random vectors.
+    pub random_cycles: u64,
+    /// Stimulus seed.
+    pub seed: u64,
+}
+
+impl TestPlan {
+    /// The paper's full plan: >100 000 cycles.
+    #[must_use]
+    pub fn full() -> TestPlan {
+        TestPlan {
+            directed_cycles: 4_096,
+            random_cycles: 100_000,
+            seed: 0xD1E5,
+        }
+    }
+
+    /// A reduced plan for unit tests.
+    #[must_use]
+    pub fn quick(cycles: u64) -> TestPlan {
+        TestPlan {
+            directed_cycles: 512.min(cycles / 2),
+            random_cycles: cycles,
+            seed: 0xD1E5,
+        }
+    }
+
+    /// Total cycles applied.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.directed_cycles + self.random_cycles
+    }
+
+    /// The `(instr, iport)` stimulus for one cycle: a directed sweep of
+    /// the instruction space first, then seeded random vectors.
+    fn stimulus(&self, cycle: u64, rng: &mut StdRng) -> (u64, u64) {
+        if cycle < self.directed_cycles {
+            // directed: walk the instruction space with a sliding input
+            ((cycle % 256), (cycle / 256) & 0xFF)
+        } else {
+            (rng.gen_range(0..256u64), rng.gen_range(0..256u64))
+        }
+    }
+}
+
+/// Test outcome for one die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DieOutcome {
+    /// Output mismatches caused by manufacturing defects.
+    pub defect_errors: u64,
+    /// Output mismatches caused by missing timing at the test clock.
+    pub timing_errors: u64,
+}
+
+impl DieOutcome {
+    /// Total observed output errors.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.defect_errors + self.timing_errors
+    }
+
+    /// The paper's pass criterion: zero errors across all vectors.
+    #[must_use]
+    pub fn functional(&self) -> bool {
+        self.errors() == 0
+    }
+}
+
+/// The tester for one core design.
+#[derive(Debug)]
+pub struct Tester<'a> {
+    netlist: &'a Netlist,
+    plan: TestPlan,
+    path_units: f64,
+    delay_model: DelayModel,
+}
+
+impl<'a> Tester<'a> {
+    /// A tester over `netlist` with the given plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is malformed (the core netlists are validated
+    /// by their own tests).
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, plan: TestPlan) -> Self {
+        let path_units = analyze(netlist)
+            .expect("core netlist is well-formed")
+            .critical_path_units;
+        Tester {
+            netlist,
+            plan,
+            path_units,
+            delay_model: DelayModel::igzo(),
+        }
+    }
+
+    /// Nominal fmax of the design at `voltage` (Table 4's clock row checks
+    /// against this).
+    #[must_use]
+    pub fn nominal_fmax_hz(&self, voltage: f64) -> f64 {
+        self.delay_model
+            .fmax_hz(self.path_units, voltage, self.delay_model.vth_nom)
+    }
+
+    /// Test every die of `dies` at `voltage`.
+    #[must_use]
+    pub fn test_wafer(&self, dies: &[DieVariation], voltage: f64) -> Vec<DieOutcome> {
+        let mut outcomes = Vec::with_capacity(dies.len());
+        for chunk in dies.chunks(63) {
+            let defect_errors = self.test_chunk(chunk);
+            for (die, defects) in chunk.iter().zip(defect_errors) {
+                let timing_errors = self.timing_errors(die, voltage);
+                outcomes.push(DieOutcome {
+                    defect_errors: defects,
+                    timing_errors,
+                });
+            }
+        }
+        outcomes
+    }
+
+    /// Run the vector set once with up to 63 faulty dies in lanes 1..;
+    /// lane 0 is the golden reference. Returns per-die mismatch counts.
+    fn test_chunk(&self, dies: &[DieVariation]) -> Vec<u64> {
+        debug_assert!(dies.len() <= 63);
+        let mut sim = BatchSim::new(self.netlist).expect("validated netlist");
+        for (i, die) in dies.iter().enumerate() {
+            let lane = 1 << (i + 1);
+            for site in random_sites(self.netlist, die.defect_count as usize, die.defect_seed) {
+                sim.inject(site.net, site.stuck_at_one, lane);
+            }
+        }
+        sim.reset();
+
+        let mut errors = vec![0u64; dies.len()];
+        let mut rng = StdRng::seed_from_u64(self.plan.seed);
+        let total = self.plan.total_cycles();
+        for cycle in 0..total {
+            let (instr, iport) = self.plan.stimulus(cycle, &mut rng);
+            sim.set_input_value("instr", instr, !0);
+            sim.set_input_value("iport", iport, !0);
+            sim.clock();
+            // compare every observable output lane against lane 0
+            let mut diff_lanes = 0u64;
+            for port in ["pc", "oport"] {
+                for bits in sim.output_lanes(port) {
+                    // lanes differing from lane 0 on this bit
+                    let ref_bit = bits & 1;
+                    let broadcast = if ref_bit == 1 { !0u64 } else { 0u64 };
+                    diff_lanes |= bits ^ broadcast;
+                }
+            }
+            if diff_lanes != 0 {
+                for (i, err) in errors.iter_mut().enumerate() {
+                    if (diff_lanes >> (i + 1)) & 1 == 1 {
+                        *err += 1;
+                    }
+                }
+            }
+        }
+        errors
+    }
+
+    /// Errors from missed timing: zero when the die's fmax clears the test
+    /// clock, otherwise a deterministic count growing with the shortfall.
+    fn timing_errors(&self, die: &DieVariation, voltage: f64) -> u64 {
+        let fmax = self.nominal_fmax_hz(voltage) / die.delay_factor;
+        if fmax >= TEST_CLOCK_HZ {
+            return 0;
+        }
+        let shortfall = ((TEST_CLOCK_HZ - fmax) / TEST_CLOCK_HZ).clamp(0.0, 1.0);
+        // a marginal die fails on the small fraction of vectors that
+        // excite the critical path; a hopeless die fails nearly everywhere
+        let fail_rate = (0.002 + 0.6 * shortfall * shortfall).min(0.9);
+        ((self.plan.total_cycles() as f64) * fail_rate).ceil() as u64
+    }
+}
+
+/// Stuck-at fault coverage of a test plan on a netlist: the fraction of
+/// all single stuck-at faults that produce at least one output mismatch
+/// under the plan's vectors.
+///
+/// This quantifies the §4.1 claim that the directed+random vector set
+/// "stimulates all regions of the cores": a die counted functional by
+/// [`Tester::test_wafer`] may still carry a defect the vectors never
+/// excited, and this number bounds how often that happens.
+#[must_use]
+pub fn fault_coverage(netlist: &Netlist, plan: TestPlan) -> f64 {
+    let tester = Tester::new(netlist, plan);
+    let sites = flexgate::fault::sites(netlist);
+    if sites.is_empty() {
+        return 1.0;
+    }
+    let mut detected = 0usize;
+    for chunk in sites.chunks(63) {
+        let mut sim = BatchSim::new(netlist).expect("validated netlist");
+        for (i, site) in chunk.iter().enumerate() {
+            sim.inject(site.net, site.stuck_at_one, 1 << (i + 1));
+        }
+        sim.reset();
+        let mut seen = vec![false; chunk.len()];
+        let mut rng = StdRng::seed_from_u64(tester.plan.seed);
+        for cycle in 0..tester.plan.total_cycles() {
+            let (instr, iport) = tester.plan.stimulus(cycle, &mut rng);
+            sim.set_input_value("instr", instr, !0);
+            sim.set_input_value("iport", iport, !0);
+            sim.clock();
+            let mut diff = 0u64;
+            for port in ["pc", "oport"] {
+                for bits in sim.output_lanes(port) {
+                    let broadcast = if bits & 1 == 1 { !0u64 } else { 0u64 };
+                    diff |= bits ^ broadcast;
+                }
+            }
+            if diff != 0 {
+                for (i, s) in seen.iter_mut().enumerate() {
+                    if (diff >> (i + 1)) & 1 == 1 {
+                        *s = true;
+                    }
+                }
+            }
+            if seen.iter().all(|&s| s) {
+                break;
+            }
+        }
+        detected += seen.iter().filter(|&&s| s).count();
+    }
+    detected as f64 / sites.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::DieVariation;
+
+    fn clean_die() -> DieVariation {
+        DieVariation {
+            defect_count: 0,
+            defect_seed: 1,
+            delay_factor: 1.0,
+            current_factor: 1.0,
+            defect_leak_ma: 0.0,
+        }
+    }
+
+    #[test]
+    fn clean_dies_pass_at_both_voltages() {
+        let netlist = flexrtl::build_fc4();
+        let tester = Tester::new(&netlist, TestPlan::quick(500));
+        for v in [3.0, 4.5] {
+            let out = tester.test_wafer(&[clean_die(); 5], v);
+            assert!(out.iter().all(DieOutcome::functional), "at {v} V: {out:?}");
+        }
+    }
+
+    #[test]
+    fn defective_dies_usually_fail() {
+        let netlist = flexrtl::build_fc4();
+        let tester = Tester::new(&netlist, TestPlan::quick(2_000));
+        let dies: Vec<DieVariation> = (0..40)
+            .map(|i| DieVariation {
+                defect_count: 2,
+                defect_seed: 1000 + i,
+                ..clean_die()
+            })
+            .collect();
+        let out = tester.test_wafer(&dies, 4.5);
+        let failing = out.iter().filter(|o| !o.functional()).count();
+        assert!(failing >= 30, "only {failing}/40 defective dies failed");
+        // failing dies show many errors, like Figure 6's hot dies
+        assert!(out.iter().any(|o| o.defect_errors > 50));
+    }
+
+    #[test]
+    fn slow_dies_fail_only_at_low_voltage() {
+        let netlist = flexrtl::build_fc4();
+        let tester = Tester::new(&netlist, TestPlan::quick(500));
+        let slow = DieVariation {
+            delay_factor: 1.3,
+            ..clean_die()
+        };
+        let at45 = tester.test_wafer(&[slow], 4.5);
+        assert!(at45[0].functional(), "{at45:?}");
+        let at30 = tester.test_wafer(&[slow], 3.0);
+        assert!(!at30[0].functional(), "{at30:?}");
+        assert!(at30[0].timing_errors > 0);
+    }
+
+    #[test]
+    fn fc8_nominal_timing_fails_at_3v_but_not_fc4() {
+        let fc4 = flexrtl::build_fc4();
+        let fc8 = flexrtl::build_fc8();
+        let t4 = Tester::new(&fc4, TestPlan::quick(100));
+        let t8 = Tester::new(&fc8, TestPlan::quick(100));
+        assert!(t4.nominal_fmax_hz(3.0) > TEST_CLOCK_HZ);
+        assert!(t8.nominal_fmax_hz(3.0) < TEST_CLOCK_HZ);
+        assert!(t8.nominal_fmax_hz(4.5) > TEST_CLOCK_HZ);
+    }
+
+    #[test]
+    fn more_than_63_dies_are_chunked() {
+        let netlist = flexrtl::build_fc4();
+        let tester = Tester::new(&netlist, TestPlan::quick(200));
+        let dies = vec![clean_die(); 130];
+        let out = tester.test_wafer(&dies, 4.5);
+        assert_eq!(out.len(), 130);
+        assert!(out.iter().all(DieOutcome::functional));
+    }
+
+    #[test]
+    fn vector_set_covers_most_stuck_at_faults() {
+        // §4.1: the vectors must stimulate all regions of the core
+        let netlist = flexrtl::build_fc4();
+        let coverage = fault_coverage(&netlist, TestPlan::quick(4_000));
+        assert!(coverage > 0.85, "stuck-at coverage {coverage:.3}");
+    }
+}

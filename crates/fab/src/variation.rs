@@ -1,0 +1,241 @@
+//! Per-die process variation: defect counts, delay factors, current
+//! factors — drawn deterministically from a wafer seed.
+
+use crate::calibration::{current, defects, geometry, timing};
+use crate::wafer::DieSite;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which physical design a wafer carries (selects defect density and
+/// current recipe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaferRecipe {
+    /// The FlexiCore4 wafer (original process).
+    Fc4,
+    /// The FlexiCore8 wafer (refined process: +50 % pull-up resistance,
+    /// but worse defectivity on the sampled wafer).
+    Fc8,
+    /// The FlexiCore4+ wafer (refined process, small sample, §6.1).
+    Fc4Plus,
+}
+
+impl WaferRecipe {
+    /// Defect density at the wafer centre (per mm²).
+    #[must_use]
+    pub fn defect_density(self) -> f64 {
+        match self {
+            WaferRecipe::Fc4 => defects::FC4_WAFER_DENSITY_PER_MM2,
+            WaferRecipe::Fc8 | WaferRecipe::Fc4Plus => defects::FC8_WAFER_DENSITY_PER_MM2,
+        }
+    }
+
+    /// Sigma of the per-die lognormal current factor.
+    #[must_use]
+    pub fn current_sigma(self) -> f64 {
+        match self {
+            WaferRecipe::Fc4 => current::FC4_WAFER_SIGMA,
+            WaferRecipe::Fc8 | WaferRecipe::Fc4Plus => current::FC8_WAFER_SIGMA,
+        }
+    }
+
+    /// Multiplier on nominal current from the process recipe.
+    #[must_use]
+    pub fn current_recipe_factor(self) -> f64 {
+        match self {
+            WaferRecipe::Fc4 => 1.0,
+            WaferRecipe::Fc8 | WaferRecipe::Fc4Plus => current::REFINED_PROCESS_FACTOR,
+        }
+    }
+}
+
+/// The drawn process parameters of one die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieVariation {
+    /// Number of manufacturing defects (stuck-at fault count).
+    pub defect_count: u32,
+    /// Per-die defect seed (selects which fault sites).
+    pub defect_seed: u64,
+    /// Multiplier on the die's critical-path delay (1.0 = nominal).
+    pub delay_factor: f64,
+    /// Multiplier on the die's nominal static current.
+    pub current_factor: f64,
+    /// Extra leakage current from defects, mA.
+    pub defect_leak_ma: f64,
+}
+
+/// Draw the variation of every die on a wafer.
+///
+/// Deterministic in `(recipe, seed, sites, die_area_mm2)`.
+#[must_use]
+pub fn draw_wafer(
+    recipe: WaferRecipe,
+    seed: u64,
+    sites: &[DieSite],
+    die_area_mm2: f64,
+) -> Vec<DieVariation> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000);
+    sites
+        .iter()
+        .map(|site| draw_die(recipe, &mut rng, site, die_area_mm2))
+        .collect()
+}
+
+fn draw_die(
+    recipe: WaferRecipe,
+    rng: &mut StdRng,
+    site: &DieSite,
+    die_area_mm2: f64,
+) -> DieVariation {
+    let r_norm = site.radius_mm() / geometry::WAFER_RADIUS_MM;
+
+    // defects: Poisson with radial growth and a hard edge multiplier
+    let mut lambda =
+        recipe.defect_density() * die_area_mm2 * (1.0 + defects::RADIAL_COEFF * r_norm.powi(4));
+    if !site.in_inclusion_zone() {
+        lambda *= defects::EDGE_MULTIPLIER;
+    }
+    let defect_count = sample_poisson(rng, lambda);
+
+    // delay: lognormal with a mild radial slow-down
+    let z: f64 = sample_standard_normal(rng);
+    let delay_factor =
+        (z * timing::DELAY_SIGMA).exp() * (1.0 + timing::RADIAL_COEFF * r_norm * r_norm);
+
+    // current: lognormal, correlated with speed (faster die ⇒ slightly
+    // leakier); defects add leakage
+    let zc: f64 = sample_standard_normal(rng);
+    let sigma = recipe.current_sigma();
+    // mostly independent, mildly anti-correlated with delay (fast dies
+    // leak more); normalized to unit variance so `sigma` is the RSD
+    let mix = (0.7 * zc - 0.3 * z) / (0.7f64 * 0.7 + 0.3 * 0.3).sqrt();
+    let current_factor = (mix * sigma).exp() * recipe.current_recipe_factor();
+    let defect_leak_ma = f64::from(defect_count) * rng.gen_range(0.0..current::DEFECT_LEAK_MA);
+
+    DieVariation {
+        defect_count,
+        defect_seed: rng.gen(),
+        delay_factor,
+        current_factor,
+        defect_leak_ma,
+    }
+}
+
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    // Knuth's method is fine for the small lambdas here
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // pathological lambda guard
+        }
+    }
+}
+
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    // Box–Muller
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wafer::WaferLayout;
+
+    fn layout() -> WaferLayout {
+        WaferLayout::new()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = layout();
+        let a = draw_wafer(WaferRecipe::Fc4, 7, w.sites(), 5.5);
+        let b = draw_wafer(WaferRecipe::Fc4, 7, w.sites(), 5.5);
+        assert_eq!(a, b);
+        let c = draw_wafer(WaferRecipe::Fc4, 8, w.sites(), 5.5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_dies_have_more_defects_on_average() {
+        let w = layout();
+        let mut edge = 0.0;
+        let mut edge_n = 0.0;
+        let mut center = 0.0;
+        let mut center_n = 0.0;
+        for seed in 0..40 {
+            let vars = draw_wafer(WaferRecipe::Fc4, seed, w.sites(), 5.5);
+            for (site, var) in w.sites().iter().zip(&vars) {
+                if site.in_inclusion_zone() {
+                    center += f64::from(var.defect_count);
+                    center_n += 1.0;
+                } else {
+                    edge += f64::from(var.defect_count);
+                    edge_n += 1.0;
+                }
+            }
+        }
+        assert!(
+            edge / edge_n > 3.0 * (center / center_n),
+            "edge {} vs center {}",
+            edge / edge_n,
+            center / center_n
+        );
+    }
+
+    #[test]
+    fn current_sigma_matches_recipe() {
+        let w = layout();
+        let sample = |recipe: WaferRecipe| {
+            let mut values = Vec::new();
+            for seed in 0..60 {
+                for v in draw_wafer(recipe, seed, w.sites(), 5.5) {
+                    values.push(v.current_factor / recipe.current_recipe_factor());
+                }
+            }
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            var.sqrt() / mean
+        };
+        let rsd4 = sample(WaferRecipe::Fc4);
+        let rsd8 = sample(WaferRecipe::Fc8);
+        assert!((rsd4 - 0.153).abs() < 0.03, "fc4 rsd {rsd4}");
+        assert!((rsd8 - 0.215).abs() < 0.04, "fc8 rsd {rsd8}");
+        assert!(rsd8 > rsd4);
+    }
+
+    #[test]
+    fn refined_process_draws_less_current() {
+        let w = layout();
+        let mean = |recipe: WaferRecipe| {
+            let vars = draw_wafer(recipe, 3, w.sites(), 5.5);
+            vars.iter().map(|v| v.current_factor).sum::<f64>() / vars.len() as f64
+        };
+        assert!(mean(WaferRecipe::Fc8) < 0.8 * mean(WaferRecipe::Fc4));
+    }
+
+    #[test]
+    fn poisson_mean_is_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: u32 = (0..n).map(|_| sample_poisson(&mut rng, 0.5)).sum();
+        let mean = f64::from(total) / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.03, "{mean}");
+    }
+
+    #[test]
+    fn normal_sampler_is_centred() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| sample_standard_normal(&mut rng)).sum();
+        assert!((sum / f64::from(n)).abs() < 0.03);
+    }
+}

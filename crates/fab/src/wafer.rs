@@ -1,0 +1,147 @@
+//! Wafer geometry: die placement on the 200 mm polyimide wafer.
+
+use crate::calibration::geometry::{
+    DIE_PITCH_MM, EDGE_EXCLUSION_MM, PLACEMENT_MARGIN_MM, WAFER_RADIUS_MM,
+};
+
+/// One die site on the wafer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieSite {
+    /// Sequential die index (row-major).
+    pub index: usize,
+    /// Grid column.
+    pub col: i32,
+    /// Grid row.
+    pub row: i32,
+    /// Centre x in mm, wafer centre at (0, 0).
+    pub x_mm: f64,
+    /// Centre y in mm.
+    pub y_mm: f64,
+}
+
+impl DieSite {
+    /// Distance from the wafer centre in mm.
+    #[must_use]
+    pub fn radius_mm(&self) -> f64 {
+        (self.x_mm * self.x_mm + self.y_mm * self.y_mm).sqrt()
+    }
+
+    /// Whether the die lies inside the inclusion zone (outside the 16 mm
+    /// edge-exclusion ring).
+    #[must_use]
+    pub fn in_inclusion_zone(&self) -> bool {
+        self.radius_mm() <= WAFER_RADIUS_MM - EDGE_EXCLUSION_MM
+    }
+}
+
+/// The die grid of one wafer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferLayout {
+    sites: Vec<DieSite>,
+}
+
+impl Default for WaferLayout {
+    fn default() -> Self {
+        WaferLayout::new()
+    }
+}
+
+impl WaferLayout {
+    /// The standard layout (calibrated to ≈123 dies, as in Figure 4).
+    #[must_use]
+    pub fn new() -> Self {
+        let mut sites = Vec::new();
+        let max_r = WAFER_RADIUS_MM - PLACEMENT_MARGIN_MM;
+        let half = (WAFER_RADIUS_MM / DIE_PITCH_MM).ceil() as i32;
+        let mut index = 0;
+        for row in -half..=half {
+            for col in -half..=half {
+                let x = (f64::from(col) + 0.5) * DIE_PITCH_MM;
+                let y = (f64::from(row) + 0.5) * DIE_PITCH_MM;
+                if (x * x + y * y).sqrt() <= max_r {
+                    sites.push(DieSite {
+                        index,
+                        col,
+                        row,
+                        x_mm: x,
+                        y_mm: y,
+                    });
+                    index += 1;
+                }
+            }
+        }
+        WaferLayout { sites }
+    }
+
+    /// All die sites.
+    #[must_use]
+    pub fn sites(&self) -> &[DieSite] {
+        &self.sites
+    }
+
+    /// Number of dies on the wafer.
+    #[must_use]
+    pub fn die_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of dies inside the inclusion zone.
+    #[must_use]
+    pub fn inclusion_count(&self) -> usize {
+        self.sites.iter().filter(|s| s.in_inclusion_zone()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_123_dies_like_figure_4() {
+        let w = WaferLayout::new();
+        assert!(
+            (110..=135).contains(&w.die_count()),
+            "die count {}",
+            w.die_count()
+        );
+    }
+
+    #[test]
+    fn inclusion_zone_is_a_proper_subset() {
+        let w = WaferLayout::new();
+        let inc = w.inclusion_count();
+        assert!(inc > 0 && inc < w.die_count());
+        // a meaningful fraction of dies sit in the exclusion ring
+        let edge = w.die_count() - inc;
+        assert!(edge >= 10, "edge dies {edge}");
+    }
+
+    #[test]
+    fn sites_are_unique_and_indexed() {
+        let w = WaferLayout::new();
+        for (i, s) in w.sites().iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert!(s.radius_mm() <= WAFER_RADIUS_MM);
+        }
+        let mut keys: Vec<(i32, i32)> = w.sites().iter().map(|s| (s.col, s.row)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), w.die_count());
+    }
+
+    #[test]
+    fn layout_is_symmetric() {
+        let w = WaferLayout::new();
+        // grid symmetric around the centre: for each site, its mirror exists
+        for s in w.sites() {
+            assert!(
+                w.sites()
+                    .iter()
+                    .any(|t| (t.x_mm + s.x_mm).abs() < 1e-9 && (t.y_mm + s.y_mm).abs() < 1e-9),
+                "mirror of ({}, {})",
+                s.x_mm,
+                s.y_mm
+            );
+        }
+    }
+}

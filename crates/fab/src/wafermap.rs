@@ -1,0 +1,123 @@
+//! ASCII wafer maps (Figures 6 and 7).
+//!
+//! Each die renders as one character on a grid in wafer coordinates;
+//! `.` marks a fully functional die (the green cells of Figure 6), digits
+//! give the decimal magnitude of the error count, and current maps
+//! quantize mA into shade characters. The edge-exclusion ring boundary
+//! dies are marked by changing `.` to `,`.
+
+use crate::wafer_run::WaferRun;
+
+/// Render the error-count map of a run (Figure 6 style).
+#[must_use]
+pub fn error_map(run: &WaferRun) -> String {
+    render(run, |idx| {
+        let errors = run.outcomes[idx].errors();
+        if errors == 0 {
+            if run.sites[idx].in_inclusion_zone() {
+                '.'
+            } else {
+                ','
+            }
+        } else {
+            // decimal magnitude: 1..9 errors -> '1', 10..99 -> '2', ...
+            let mag = (errors as f64).log10().floor() as u32 + 1;
+            char::from_digit(mag.min(9), 10).unwrap_or('9')
+        }
+    })
+}
+
+/// Render the current-draw map of a run (Figure 7 style).
+#[must_use]
+pub fn current_map(run: &WaferRun) -> String {
+    let stats = run.current_stats();
+    let lo = stats.mean_ma * 0.7;
+    let hi = stats.mean_ma * 1.3;
+    let shades = [' ', '-', '=', '*', '#', '@'];
+    render(run, |idx| {
+        let c = run.currents_ma[idx];
+        let t = ((c - lo) / (hi - lo)).clamp(0.0, 0.999);
+        shades[1 + (t * (shades.len() - 2) as f64) as usize]
+    })
+}
+
+/// Emit one CSV row per die: `col,row,x_mm,y_mm,in_inclusion,errors,
+/// functional,current_ma`.
+#[must_use]
+pub fn to_csv(run: &WaferRun) -> String {
+    use std::fmt::Write;
+    let mut s = String::from("col,row,x_mm,y_mm,in_inclusion,errors,functional,current_ma\n");
+    for (i, site) in run.sites.iter().enumerate() {
+        let o = &run.outcomes[i];
+        let _ = writeln!(
+            s,
+            "{},{},{:.1},{:.1},{},{},{},{:.3}",
+            site.col,
+            site.row,
+            site.x_mm,
+            site.y_mm,
+            u8::from(site.in_inclusion_zone()),
+            o.errors(),
+            u8::from(o.functional()),
+            run.currents_ma[i],
+        );
+    }
+    s
+}
+
+fn render(run: &WaferRun, glyph: impl Fn(usize) -> char) -> String {
+    let min_col = run.sites.iter().map(|s| s.col).min().unwrap_or(0);
+    let max_col = run.sites.iter().map(|s| s.col).max().unwrap_or(0);
+    let min_row = run.sites.iter().map(|s| s.row).min().unwrap_or(0);
+    let max_row = run.sites.iter().map(|s| s.row).max().unwrap_or(0);
+    let width = (max_col - min_col + 1) as usize;
+    let height = (max_row - min_row + 1) as usize;
+    let mut grid = vec![vec![' '; width]; height];
+    for (i, site) in run.sites.iter().enumerate() {
+        let x = (site.col - min_col) as usize;
+        let y = (site.row - min_row) as usize;
+        grid[y][x] = glyph(i);
+    }
+    let mut out = String::new();
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wafer_run::{CoreDesign, WaferExperiment};
+
+    fn run() -> WaferRun {
+        WaferExperiment::new(CoreDesign::FlexiCore4, 5).run(4.5, 300)
+    }
+
+    #[test]
+    fn error_map_covers_all_dies() {
+        let r = run();
+        let map = error_map(&r);
+        let glyphs: usize = map.chars().filter(|c| !c.is_whitespace()).count();
+        assert_eq!(glyphs, r.sites.len());
+        assert!(map.contains('.'), "some dies are functional");
+    }
+
+    #[test]
+    fn current_map_renders_shades() {
+        let r = run();
+        let map = current_map(&r);
+        assert!(map.lines().count() > 5);
+        assert!(map.chars().any(|c| "-=*#@".contains(c)));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_die() {
+        let r = run();
+        let csv = to_csv(&r);
+        assert_eq!(csv.lines().count(), r.sites.len() + 1);
+        assert!(csv.starts_with("col,row"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # flexgate
+//!
+//! A gate-level substrate standing in for PragmatIC's 0.8 µm IGZO
+//! standard-cell flow (paper §3.5, Figure 1): a thirteen-cell n-type
+//! resistive-pull-up library, a structural [`netlist`] builder, a levelized
+//! [`sim`]ulator with 64-lane parallel fault simulation, stuck-at
+//! [`fault`] injection, a static-[`timing`] engine with a voltage-aware
+//! delay model, and area/power/device [`report`]s rolled up by module —
+//! the data behind the paper's Tables 2–4.
+//!
+//! The library's per-cell device counts follow directly from n-type logic
+//! with resistive pull-ups (a NAND2 is two transistors plus one load
+//! resistor); areas are expressed in NAND2 equivalents as the paper does;
+//! delays and currents are calibrated constants documented on
+//! [`cell::CellKind::spec`].
+//!
+//! ```
+//! use flexgate::netlist::Netlist;
+//!
+//! // a 2-bit ripple adder, simulated across 64 parallel lanes
+//! let mut n = Netlist::new();
+//! let a = n.inputs("a", 2);
+//! let b = n.inputs("b", 2);
+//! let zero = n.const0();
+//! let (sum, carry) = n.ripple_adder(&a, &b, zero);
+//! n.outputs("sum", &sum);
+//! n.output("carry", carry);
+//!
+//! let mut sim = flexgate::sim::BatchSim::new(&n)?;
+//! sim.set_input_value("a", 0b01, !0u64);
+//! sim.set_input_value("b", 0b11, !0u64);
+//! sim.settle();
+//! assert_eq!(sim.output_value("sum", 0), 0b00);
+//! assert_eq!(sim.output_value("carry", 0), 1);
+//! # Ok::<(), flexgate::netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod fault;
+pub mod netlist;
+pub mod report;
+pub mod sim;
+pub mod timing;
+pub mod vcd;
+
+pub use cell::CellKind;
+pub use netlist::{Net, Netlist};

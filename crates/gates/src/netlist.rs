@@ -1,0 +1,621 @@
+//! Structural netlists and word-level builders.
+//!
+//! A [`Netlist`] is a flat list of cell instances over integer-indexed
+//! [`Net`]s. The builder offers the word-level idioms the FlexiCore
+//! microarchitecture needs — ripple-carry adders whose XOR/AND terms are
+//! exported as side effects (§3.4), mux trees, decoders, registers — and a
+//! module-tag stack so every cell is attributed to an architectural module
+//! for the Table 2/3 breakdowns.
+
+use crate::cell::CellKind;
+use std::collections::BTreeMap;
+
+/// A wire in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Net(pub(crate) u32);
+
+impl Net {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellInst {
+    /// The library cell.
+    pub kind: CellKind,
+    /// Input nets, in [`CellKind::eval`] order.
+    pub inputs: Vec<Net>,
+    /// Output net (every cell drives exactly one net).
+    pub output: Net,
+    /// Index into [`Netlist::modules`].
+    pub module: usize,
+}
+
+/// Errors detected when freezing a netlist for simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A combinational cycle exists through the listed net.
+    CombinationalLoop {
+        /// A net on the cycle.
+        net: usize,
+    },
+    /// A net is driven by more than one cell.
+    MultipleDrivers {
+        /// The over-driven net.
+        net: usize,
+    },
+    /// A named input or output was not found.
+    UnknownPort {
+        /// The requested port name.
+        name: String,
+    },
+}
+
+impl core::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetlistError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net {net}")
+            }
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net} has multiple drivers")
+            }
+            NetlistError::UnknownPort { name } => write!(f, "unknown port `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A structural netlist under construction (or finished).
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    net_count: u32,
+    cells: Vec<CellInst>,
+    inputs: BTreeMap<String, Vec<Net>>,
+    outputs: BTreeMap<String, Vec<Net>>,
+    modules: Vec<String>,
+    module_stack: Vec<usize>,
+    const0: Option<Net>,
+    const1: Option<Net>,
+}
+
+impl Netlist {
+    /// An empty netlist with the root module `top`.
+    #[must_use]
+    pub fn new() -> Self {
+        Netlist {
+            modules: vec!["top".to_string()],
+            module_stack: vec![0],
+            ..Netlist::default()
+        }
+    }
+
+    fn fresh(&mut self) -> Net {
+        let n = Net(self.net_count);
+        self.net_count += 1;
+        n
+    }
+
+    fn current_module(&self) -> usize {
+        *self.module_stack.last().expect("module stack never empty")
+    }
+
+    /// Enter a sub-module scope (e.g. `alu`); cells built until the
+    /// matching [`Netlist::pop_module`] are attributed to it.
+    pub fn push_module(&mut self, name: &str) {
+        let parent = &self.modules[self.current_module()];
+        let full = if parent == "top" {
+            name.to_string()
+        } else {
+            format!("{parent}.{name}")
+        };
+        let idx = self
+            .modules
+            .iter()
+            .position(|m| *m == full)
+            .unwrap_or_else(|| {
+                self.modules.push(full);
+                self.modules.len() - 1
+            });
+        self.module_stack.push(idx);
+    }
+
+    /// Leave the current sub-module scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more often than [`Netlist::push_module`].
+    pub fn pop_module(&mut self) {
+        assert!(self.module_stack.len() > 1, "pop_module without push");
+        self.module_stack.pop();
+    }
+
+    /// The module path table (index 0 is `top`).
+    #[must_use]
+    pub fn modules(&self) -> &[String] {
+        &self.modules
+    }
+
+    /// All cell instances.
+    #[must_use]
+    pub fn cells(&self) -> &[CellInst] {
+        &self.cells
+    }
+
+    /// Total number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count as usize
+    }
+
+    /// Named input buses.
+    #[must_use]
+    pub fn input_ports(&self) -> &BTreeMap<String, Vec<Net>> {
+        &self.inputs
+    }
+
+    /// Named output buses.
+    #[must_use]
+    pub fn output_ports(&self) -> &BTreeMap<String, Vec<Net>> {
+        &self.outputs
+    }
+
+    // ---- ports -----------------------------------------------------------
+
+    /// Declare a 1-bit input.
+    pub fn input(&mut self, name: &str) -> Net {
+        self.inputs(name, 1)[0]
+    }
+
+    /// Declare a `width`-bit input bus (bit 0 first).
+    pub fn inputs(&mut self, name: &str, width: usize) -> Vec<Net> {
+        let nets: Vec<Net> = (0..width).map(|_| self.fresh()).collect();
+        self.inputs.insert(name.to_string(), nets.clone());
+        nets
+    }
+
+    /// Expose a 1-bit output.
+    pub fn output(&mut self, name: &str, net: Net) {
+        self.outputs.insert(name.to_string(), vec![net]);
+    }
+
+    /// Expose a bus output.
+    pub fn outputs(&mut self, name: &str, nets: &[Net]) {
+        self.outputs.insert(name.to_string(), nets.to_vec());
+    }
+
+    /// The constant-0 net (created on first use).
+    pub fn const0(&mut self) -> Net {
+        if let Some(n) = self.const0 {
+            return n;
+        }
+        let n = self.fresh();
+        self.const0 = Some(n);
+        n
+    }
+
+    /// The constant-1 net (created on first use).
+    pub fn const1(&mut self) -> Net {
+        if let Some(n) = self.const1 {
+            return n;
+        }
+        let zero = self.const0();
+        let n = self.cell(CellKind::InvX1, &[zero]);
+        self.const1 = Some(n);
+        n
+    }
+
+    pub(crate) fn const0_net(&self) -> Option<Net> {
+        self.const0
+    }
+
+    // ---- cells -----------------------------------------------------------
+
+    /// Instantiate `kind` over `inputs`, returning the output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on wrong arity.
+    pub fn cell(&mut self, kind: CellKind, inputs: &[Net]) -> Net {
+        assert_eq!(
+            inputs.len(),
+            kind.spec().inputs,
+            "{kind} takes {} inputs",
+            kind.spec().inputs
+        );
+        let output = self.fresh();
+        let module = self.current_module();
+        self.cells.push(CellInst {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            module,
+        });
+        output
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: Net) -> Net {
+        self.cell(CellKind::InvX1, &[a])
+    }
+
+    /// NAND2.
+    pub fn nand(&mut self, a: Net, b: Net) -> Net {
+        self.cell(CellKind::Nand2, &[a, b])
+    }
+
+    /// AND2 = NAND2 + INV.
+    pub fn and(&mut self, a: Net, b: Net) -> Net {
+        let n = self.nand(a, b);
+        self.not(n)
+    }
+
+    /// OR2 = NOR2 + INV.
+    pub fn or(&mut self, a: Net, b: Net) -> Net {
+        let n = self.cell(CellKind::Nor2, &[a, b]);
+        self.not(n)
+    }
+
+    /// XOR2.
+    pub fn xor(&mut self, a: Net, b: Net) -> Net {
+        self.cell(CellKind::Xor2, &[a, b])
+    }
+
+    /// 2:1 mux: `sel ? a : b`.
+    pub fn mux(&mut self, sel: Net, a: Net, b: Net) -> Net {
+        self.cell(CellKind::Mux2, &[sel, a, b])
+    }
+
+    /// D flip-flop; returns Q.
+    pub fn dff(&mut self, d: Net) -> Net {
+        self.cell(CellKind::Dff, &[d])
+    }
+
+    /// Allocate a net with no driver yet — used for feedback paths where a
+    /// flop's Q must be read before the flop is built. Drive it later with
+    /// [`Netlist::drive_dff_r`] (an undriven placeholder simulates as 0).
+    pub fn placeholder(&mut self) -> Net {
+        self.fresh()
+    }
+
+    /// A resettable flip-flop whose output is the pre-allocated net `q`
+    /// (see [`Netlist::placeholder`]).
+    pub fn drive_dff_r(&mut self, d: Net, q: Net) {
+        let module = self.current_module();
+        self.cells.push(CellInst {
+            kind: CellKind::DffR,
+            inputs: vec![d],
+            output: q,
+            module,
+        });
+    }
+
+    /// Resettable D flip-flop (reset to 0 at power-on); returns Q.
+    pub fn dff_r(&mut self, d: Net) -> Net {
+        self.cell(CellKind::DffR, &[d])
+    }
+
+    // ---- word-level builders ----------------------------------------------
+
+    /// Word-wide mux.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn mux_word(&mut self, sel: Net, a: &[Net], b: &[Net]) -> Vec<Net> {
+        assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
+    }
+
+    /// Ripple-carry adder returning `(sum, carry_out)`.
+    ///
+    /// Built exactly as §3.4 describes: each full adder's propagate
+    /// (`a XOR b`) and generate (`a AND b`) terms are ordinary library
+    /// cells, so the XOR/AND of the two operands exist as free side-effect
+    /// nets — retrieve them with [`Netlist::ripple_adder_with_terms`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn ripple_adder(&mut self, a: &[Net], b: &[Net], cin: Net) -> (Vec<Net>, Net) {
+        let (sum, cout, _, _) = self.ripple_adder_with_terms(a, b, cin);
+        (sum, cout)
+    }
+
+    /// Ripple-carry adder that also returns the per-bit XOR (propagate)
+    /// and AND (generate) side-effect terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn ripple_adder_with_terms(
+        &mut self,
+        a: &[Net],
+        b: &[Net],
+        cin: Net,
+    ) -> (Vec<Net>, Net, Vec<Net>, Vec<Net>) {
+        assert_eq!(a.len(), b.len(), "adder operands must match");
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        let mut xors = Vec::with_capacity(a.len());
+        let mut ands = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let p = self.xor(x, y); // propagate (XOR side effect)
+            let g = self.and(x, y); // generate (AND side effect)
+            let s = self.xor(p, carry);
+            let pc = self.and(p, carry);
+            let c = self.or(g, pc);
+            sum.push(s);
+            xors.push(p);
+            ands.push(g);
+            carry = c;
+        }
+        (sum, carry, xors, ands)
+    }
+
+    /// Half-adder incrementer: returns `a + cin` (carry-out discarded),
+    /// much cheaper than a full ripple adder — this is how the program
+    /// counter advances.
+    pub fn incrementer(&mut self, a: &[Net], cin: Net) -> Vec<Net> {
+        let mut carry = cin;
+        let mut out = Vec::with_capacity(a.len());
+        for &bit in a {
+            out.push(self.xor(bit, carry));
+            carry = self.and(bit, carry);
+        }
+        out
+    }
+
+    /// One-hot decoder of an `n`-bit select into `2^n` enables.
+    pub fn decoder(&mut self, sel: &[Net]) -> Vec<Net> {
+        let nsel: Vec<Net> = sel.iter().map(|&s| self.not(s)).collect();
+        let count = 1usize << sel.len();
+        let mut outs = Vec::with_capacity(count);
+        for k in 0..count {
+            // AND tree over sel/nsel bits
+            let mut term: Option<Net> = None;
+            for (bit, (&s, &ns)) in sel.iter().zip(&nsel).enumerate() {
+                let lit = if (k >> bit) & 1 == 1 { s } else { ns };
+                term = Some(match term {
+                    None => lit,
+                    Some(t) => self.and(t, lit),
+                });
+            }
+            outs.push(term.expect("decoder needs at least one select bit"));
+        }
+        outs
+    }
+
+    /// Mux tree selecting one of `words` by an `n`-bit select
+    /// (`words.len() == 2^n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count is not a power of two matching `sel`.
+    pub fn mux_tree(&mut self, sel: &[Net], words: &[Vec<Net>]) -> Vec<Net> {
+        assert_eq!(words.len(), 1 << sel.len(), "mux tree arity");
+        let mut layer: Vec<Vec<Net>> = words.to_vec();
+        for &s in sel {
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                next.push(self.mux_word(s, &pair[1], &pair[0]));
+            }
+            layer = next;
+        }
+        layer.pop().expect("nonempty mux tree")
+    }
+
+    /// A `width`-bit register with write enable; returns the Q nets.
+    /// When `we` is low the register recirculates.
+    pub fn register(&mut self, d: &[Net], we: Net) -> Vec<Net> {
+        // build muxed feedback: q = dff(we ? d : q). Feedback requires
+        // declaring the dff first; emulate with explicit net plumbing.
+        let mut qs = Vec::with_capacity(d.len());
+        for &di in d {
+            // placeholder input replaced below via mux feedback
+            let q_feedback = self.fresh();
+            let sel = self.mux(we, di, q_feedback);
+            let module = self.current_module();
+            // dff whose output *is* the feedback net
+            self.cells.push(CellInst {
+                kind: CellKind::DffR,
+                inputs: vec![sel],
+                output: q_feedback,
+                module,
+            });
+            qs.push(q_feedback);
+        }
+        qs
+    }
+
+    // ---- integrity ---------------------------------------------------------
+
+    /// Check single-driver and acyclicity invariants and compute a
+    /// topological order of combinational cells.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::MultipleDrivers`] or
+    /// [`NetlistError::CombinationalLoop`].
+    pub fn levelize(&self) -> Result<Vec<usize>, NetlistError> {
+        let mut driver: Vec<Option<usize>> = vec![None; self.net_count()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            let slot = &mut driver[cell.output.index()];
+            if slot.is_some() {
+                return Err(NetlistError::MultipleDrivers {
+                    net: cell.output.index(),
+                });
+            }
+            *slot = Some(ci);
+        }
+        // Kahn over combinational cells only (DFF outputs are sources)
+        let mut indegree: Vec<u32> = vec![0; self.cells.len()];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); self.net_count()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            if cell.kind.spec().sequential {
+                continue;
+            }
+            for inp in &cell.inputs {
+                if let Some(di) = driver[inp.index()] {
+                    if !self.cells[di].kind.spec().sequential {
+                        indegree[ci] += 1;
+                        fanout[self.cells[di].output.index()].push(ci);
+                    }
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(self.cells.len());
+        let mut queue: Vec<usize> = (0..self.cells.len())
+            .filter(|&ci| !self.cells[ci].kind.spec().sequential && indegree[ci] == 0)
+            .collect();
+        while let Some(ci) = queue.pop() {
+            order.push(ci);
+            for &succ in &fanout[self.cells[ci].output.index()] {
+                indegree[succ] -= 1;
+                if indegree[succ] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        let comb_count = self
+            .cells
+            .iter()
+            .filter(|c| !c.kind.spec().sequential)
+            .count();
+        if order.len() != comb_count {
+            let stuck = indegree
+                .iter()
+                .enumerate()
+                .find(|(ci, &d)| d > 0 && !self.cells[*ci].kind.spec().sequential)
+                .map(|(ci, _)| self.cells[ci].output.index())
+                .unwrap_or(0);
+            return Err(NetlistError::CombinationalLoop { net: stuck });
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_tagging_nests() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        n.push_module("alu");
+        let x = n.not(a);
+        n.push_module("adder");
+        let _ = n.not(x);
+        n.pop_module();
+        n.pop_module();
+        let _ = n.not(a);
+        let mods: Vec<&str> = n
+            .cells()
+            .iter()
+            .map(|c| n.modules()[c.module].as_str())
+            .collect();
+        assert_eq!(mods, vec!["alu", "alu.adder", "top"]);
+    }
+
+    #[test]
+    fn levelize_orders_dependencies() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and(a, b);
+        let _y = n.xor(x, a);
+        let order = n.levelize().unwrap();
+        // every cell's combinational inputs appear earlier in the order
+        let pos: std::collections::HashMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        for (ci, cell) in n.cells().iter().enumerate() {
+            for inp in &cell.inputs {
+                if let Some(dci) = n
+                    .cells()
+                    .iter()
+                    .position(|c| c.output == *inp && !c.kind.spec().sequential)
+                {
+                    assert!(pos[&dci] < pos[&ci]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        // manually create a loop: cell output feeds itself through another
+        let loop_net = n.fresh();
+        let x = n.nand(a, loop_net);
+        let module = n.current_module();
+        n.cells.push(CellInst {
+            kind: CellKind::InvX1,
+            inputs: vec![x],
+            output: loop_net,
+            module,
+        });
+        assert!(matches!(
+            n.levelize(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let x = n.not(a);
+        let module = n.current_module();
+        n.cells.push(CellInst {
+            kind: CellKind::InvX1,
+            inputs: vec![a],
+            output: x,
+            module,
+        });
+        assert!(matches!(
+            n.levelize(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn decoder_is_one_hot_sized() {
+        let mut n = Netlist::new();
+        let sel = n.inputs("sel", 3);
+        let outs = n.decoder(&sel);
+        assert_eq!(outs.len(), 8);
+    }
+
+    #[test]
+    fn register_feedback_is_not_a_comb_loop() {
+        let mut n = Netlist::new();
+        let d = n.inputs("d", 4);
+        let we = n.input("we");
+        let q = n.register(&d, we);
+        n.outputs("q", &q);
+        assert!(n.levelize().is_ok());
+    }
+
+    #[test]
+    fn adder_exports_side_effect_terms() {
+        let mut n = Netlist::new();
+        let a = n.inputs("a", 4);
+        let b = n.inputs("b", 4);
+        let zero = n.const0();
+        let (sum, _c, xors, ands) = n.ripple_adder_with_terms(&a, &b, zero);
+        assert_eq!(sum.len(), 4);
+        assert_eq!(xors.len(), 4);
+        assert_eq!(ands.len(), 4);
+    }
+}

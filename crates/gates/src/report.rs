@@ -1,0 +1,211 @@
+//! Area, power and device roll-ups by architectural module.
+//!
+//! These reports are the mechanical source of the paper's Tables 2 and 3
+//! (module contributions to area and static power, split into
+//! combinational and non-combinational) and of the headline per-core
+//! numbers in Table 4 (device count, area in mm², current draw).
+
+use crate::cell::{CellKind, NAND2_AREA_UM2};
+use crate::netlist::Netlist;
+use std::collections::BTreeMap;
+
+/// Aggregate statistics for one module (or a whole core).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModuleStats {
+    /// Number of cell instances.
+    pub cells: usize,
+    /// TFTs + load resistors.
+    pub devices: u64,
+    /// Combinational area, NAND2 equivalents.
+    pub comb_area: f64,
+    /// Sequential (flip-flop) area, NAND2 equivalents.
+    pub seq_area: f64,
+    /// Static current at 4.5 V, µA.
+    pub static_ua: f64,
+}
+
+impl ModuleStats {
+    /// Total area in NAND2 equivalents.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.comb_area + self.seq_area
+    }
+
+    /// Total area in mm² (using the paper-calibrated NAND2 footprint).
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.area() * NAND2_AREA_UM2 / 1e6
+    }
+
+    /// Fraction of area that is non-combinational.
+    #[must_use]
+    pub fn non_comb_fraction(&self) -> f64 {
+        if self.area() == 0.0 {
+            0.0
+        } else {
+            self.seq_area / self.area()
+        }
+    }
+
+    /// Static power in mW at the given supply voltage (current scales
+    /// linearly with V for resistive pull-ups; power therefore with V²).
+    #[must_use]
+    pub fn static_power_mw(&self, volts: f64) -> f64 {
+        self.static_current_ma(volts) * volts
+    }
+
+    /// Static current in mA at the given supply voltage.
+    #[must_use]
+    pub fn static_current_ma(&self, volts: f64) -> f64 {
+        self.static_ua / 1000.0 * (volts / 4.5)
+    }
+
+    fn add(&mut self, kind: CellKind) {
+        let spec = kind.spec();
+        self.cells += 1;
+        self.devices += u64::from(spec.devices);
+        if spec.sequential {
+            self.seq_area += spec.area_nand2;
+        } else {
+            self.comb_area += spec.area_nand2;
+        }
+        self.static_ua += spec.static_ua;
+    }
+}
+
+/// Per-module breakdown of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Statistics by module path (top-level cells under `top`).
+    pub modules: BTreeMap<String, ModuleStats>,
+    /// Whole-netlist totals.
+    pub total: ModuleStats,
+    /// Cell-kind histogram (the "# in FlexiCore" column of Figure 1).
+    pub cell_histogram: BTreeMap<&'static str, usize>,
+}
+
+impl Report {
+    /// Compute the report for `netlist`.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Report {
+        let mut modules: BTreeMap<String, ModuleStats> = BTreeMap::new();
+        let mut total = ModuleStats::default();
+        let mut hist: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for cell in netlist.cells() {
+            let path = netlist.modules()[cell.module].clone();
+            modules.entry(path).or_default().add(cell.kind);
+            total.add(cell.kind);
+            *hist.entry(cell.kind.spec().name).or_insert(0) += 1;
+        }
+        Report {
+            modules,
+            total,
+            cell_histogram: hist,
+        }
+    }
+
+    /// Statistics for a *top-level* module, aggregating its sub-modules
+    /// (e.g. `"alu"` includes `"alu.adder"`).
+    #[must_use]
+    pub fn module_rollup(&self, prefix: &str) -> ModuleStats {
+        let mut agg = ModuleStats::default();
+        for (path, stats) in &self.modules {
+            if path == prefix || path.starts_with(&format!("{prefix}.")) {
+                agg.cells += stats.cells;
+                agg.devices += stats.devices;
+                agg.comb_area += stats.comb_area;
+                agg.seq_area += stats.seq_area;
+                agg.static_ua += stats.static_ua;
+            }
+        }
+        agg
+    }
+
+    /// Area share (0..1) of a top-level module.
+    #[must_use]
+    pub fn area_share(&self, prefix: &str) -> f64 {
+        if self.total.area() == 0.0 {
+            return 0.0;
+        }
+        self.module_rollup(prefix).area() / self.total.area()
+    }
+
+    /// Static-power share (0..1) of a top-level module.
+    #[must_use]
+    pub fn power_share(&self, prefix: &str) -> f64 {
+        if self.total.static_ua == 0.0 {
+            return 0.0;
+        }
+        self.module_rollup(prefix).static_ua / self.total.static_ua
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn small_core() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.inputs("a", 4);
+        let b = n.inputs("b", 4);
+        n.push_module("alu");
+        let zero = n.const0();
+        let (sum, _c) = n.ripple_adder(&a, &b, zero);
+        n.pop_module();
+        n.push_module("acc");
+        let we = n.input("we");
+        let q = n.register(&sum, we);
+        n.pop_module();
+        n.outputs("q", &q);
+        n
+    }
+
+    #[test]
+    fn totals_equal_sum_of_modules() {
+        let n = small_core();
+        let r = Report::of(&n);
+        let sum_area: f64 = r.modules.values().map(ModuleStats::area).sum();
+        assert!((sum_area - r.total.area()).abs() < 1e-9);
+        let sum_dev: u64 = r.modules.values().map(|m| m.devices).sum();
+        assert_eq!(sum_dev, r.total.devices);
+    }
+
+    #[test]
+    fn register_module_is_mostly_sequential() {
+        let n = small_core();
+        let r = Report::of(&n);
+        let acc = r.module_rollup("acc");
+        assert!(acc.non_comb_fraction() > 0.5, "{}", acc.non_comb_fraction());
+        let alu = r.module_rollup("alu");
+        assert!((alu.non_comb_fraction() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_sum_to_at_most_one() {
+        let n = small_core();
+        let r = Report::of(&n);
+        let s = r.area_share("alu") + r.area_share("acc");
+        assert!(s > 0.9 && s <= 1.0 + 1e-9, "{s}");
+    }
+
+    #[test]
+    fn power_scales_with_voltage() {
+        let n = small_core();
+        let r = Report::of(&n);
+        let p45 = r.total.static_power_mw(4.5);
+        let p30 = r.total.static_power_mw(3.0);
+        // resistive: P ∝ V², so 3 V ≈ 0.44 × 4.5 V power
+        assert!((p30 / p45 - (3.0f64 / 4.5).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_counts_cells() {
+        let n = small_core();
+        let r = Report::of(&n);
+        let total: usize = r.cell_histogram.values().sum();
+        assert_eq!(total, n.cells().len());
+        assert!(r.cell_histogram.contains_key("XOR2"));
+        assert!(r.cell_histogram.contains_key("DFF_R"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Static timing analysis with a voltage-aware TFT delay model.
+//!
+//! The critical path is the longest register-to-register (or port-to-port)
+//! combinational path, weighted by per-cell delays. The absolute time of
+//! one delay unit and its dependence on supply voltage and threshold
+//! voltage come from [`DelayModel`]; constants are calibrated so
+//! FlexiCore4 closes timing at 12.5 kHz with ~3× margin at 4.5 V and
+//! ~30 % margin at 3 V — which is what makes a FlexiCore8 (whose 8-bit
+//! ripple carry roughly doubles the adder path) marginal at 3 V, exactly
+//! the paper's observation in §4.1.
+
+use crate::netlist::{Netlist, NetlistError};
+
+/// Supply/threshold-dependent delay scaling for IGZO TFT logic.
+///
+/// Delay per unit is `unit_us × ((vnom − vth_nom) / (v − vth))^alpha`:
+/// the classic alpha-power saturation model. Per-die threshold-voltage
+/// shifts enter through `vth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Microseconds per delay unit at nominal voltage and threshold.
+    pub unit_us: f64,
+    /// Nominal supply (volts).
+    pub vnom: f64,
+    /// Nominal threshold voltage (volts) — the paper's TFT table gives a
+    /// mean V_th of 1.29 V.
+    pub vth_nom: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::igzo()
+    }
+}
+
+impl DelayModel {
+    /// The calibrated 0.8 µm IGZO model.
+    ///
+    /// `unit_us` and `alpha` are set so the FlexiCore4 critical path
+    /// (≈ 30 delay units) gives fmax ≈ 49 kHz at 4.5 V — comfortable
+    /// margin over the 12.5 kHz test clock — but only ≈ 14 kHz at 3 V,
+    /// where per-die delay variation pushes a third of dies below the
+    /// clock; FlexiCore8's doubled adder chain lands *below* 12.5 kHz at
+    /// 3 V for the typical die, reproducing §4.1's observation that
+    /// lowering the supply collapses FlexiCore8's yield.
+    #[must_use]
+    pub fn igzo() -> DelayModel {
+        DelayModel {
+            unit_us: 0.67,
+            vnom: 4.5,
+            vth_nom: 1.29,
+            alpha: 2.0,
+        }
+    }
+
+    /// Delay multiplier at supply `v` for a die with threshold `vth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v <= vth` (the transistor would not turn on).
+    #[must_use]
+    pub fn scale(&self, v: f64, vth: f64) -> f64 {
+        assert!(v > vth, "supply {v} V does not exceed Vth {vth} V");
+        ((self.vnom - self.vth_nom) / (v - vth)).powf(self.alpha)
+    }
+
+    /// Maximum clock frequency in hertz for a path of `units` delay units
+    /// at supply `v` and die threshold `vth`.
+    #[must_use]
+    pub fn fmax_hz(&self, units: f64, v: f64, vth: f64) -> f64 {
+        let period_us = units * self.unit_us * self.scale(v, vth);
+        1.0e6 / period_us
+    }
+}
+
+/// Result of static timing analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Longest combinational path in delay units (includes the launching
+    /// flop's clock-to-Q and the capturing flop's setup).
+    pub critical_path_units: f64,
+}
+
+/// Flop setup margin added to every captured path, in delay units.
+pub const SETUP_UNITS: f64 = 1.0;
+
+/// Compute the critical path of `netlist`.
+///
+/// # Errors
+///
+/// Propagates netlist integrity errors.
+pub fn analyze(netlist: &Netlist) -> Result<TimingReport, NetlistError> {
+    let order = netlist.levelize()?;
+    // arrival time per net, in delay units
+    let mut arrival = vec![0.0f64; netlist.net_count()];
+    // flop outputs launch at their clock-to-Q delay
+    for cell in netlist.cells() {
+        if cell.kind.spec().sequential {
+            arrival[cell.output.index()] = cell.kind.spec().delay;
+        }
+    }
+    let mut worst: f64 = 0.0;
+    for &ci in &order {
+        let cell = &netlist.cells()[ci];
+        let at = cell
+            .inputs
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0, f64::max)
+            + cell.kind.spec().delay;
+        arrival[cell.output.index()] = at;
+        worst = worst.max(at);
+    }
+    // paths captured by flops pay setup
+    for cell in netlist.cells() {
+        if cell.kind.spec().sequential {
+            let at = arrival[cell.inputs[0].index()] + SETUP_UNITS;
+            worst = worst.max(at);
+        }
+    }
+    Ok(TimingReport {
+        critical_path_units: worst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn longer_adders_have_longer_paths() {
+        let path = |width: usize| {
+            let mut n = Netlist::new();
+            let a = n.inputs("a", width);
+            let b = n.inputs("b", width);
+            let zero = n.const0();
+            let (sum, carry) = n.ripple_adder(&a, &b, zero);
+            n.outputs("sum", &sum);
+            n.output("carry", carry);
+            analyze(&n).unwrap().critical_path_units
+        };
+        let p4 = path(4);
+        let p8 = path(8);
+        assert!(
+            p8 > p4 * 1.6,
+            "8-bit carry chain ~2x the 4-bit: {p4} vs {p8}"
+        );
+    }
+
+    #[test]
+    fn registered_paths_pay_clk_to_q_and_setup() {
+        let mut n = Netlist::new();
+        let d = n.inputs("d", 1);
+        let we = n.input("we");
+        let q = n.register(&d, we);
+        n.outputs("q", &q);
+        let t = analyze(&n).unwrap();
+        // clk-to-q (2.1 for DFF_R) + mux (1.8) + setup (1.0)
+        assert!(t.critical_path_units >= 4.5, "{}", t.critical_path_units);
+    }
+
+    #[test]
+    fn voltage_scaling_slows_low_supply() {
+        let m = DelayModel::igzo();
+        let nominal = m.scale(4.5, m.vth_nom);
+        assert!((nominal - 1.0).abs() < 1e-12);
+        let low = m.scale(3.0, m.vth_nom);
+        assert!(low > 2.0 && low < 4.5, "3 V is meaningfully slower: {low}");
+        // higher Vth slows further
+        assert!(m.scale(3.0, 1.6) > low);
+    }
+
+    #[test]
+    fn fmax_orders_of_magnitude() {
+        let m = DelayModel::igzo();
+        // a ~30-unit path at 4.5 V should land in tens of kHz
+        let f = m.fmax_hz(30.0, 4.5, m.vth_nom);
+        assert!((30_000.0..80_000.0).contains(&f), "{f}");
+        let f3 = m.fmax_hz(30.0, 3.0, m.vth_nom);
+        assert!(f3 < f && f3 > 12_500.0, "3 V still above test clock: {f3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exceed Vth")]
+    fn supply_below_threshold_panics() {
+        let m = DelayModel::igzo();
+        let _ = m.scale(1.0, 1.29);
+    }
+}

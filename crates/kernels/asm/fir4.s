@@ -1,0 +1,34 @@
+; Four-tap FIR filter kernel (streaming).
+;
+; Coefficients are {+1, -1, +1, -1} (taps in {-1,1} per the paper, §5.1).
+; Reads eight signed 4-bit samples; after each sample emits
+; y[n] = x[n] - x[n-1] + x[n-2] - x[n-3] in mod-16 arithmetic.
+;
+; registers: r2 newest sample, r3..r5 delay line, r6 loop counter
+; (the `sub` pseudo clobbers only r7)
+        ldi   0
+        store r3
+        store r4
+        store r5
+        ldi   -8
+        store r6
+loop:
+        load  r0
+        store r2
+        sub   r3
+        add   r4
+        sub   r5
+        store r1            ; emit y[n]
+        ldi   0
+        store r1            ; zero separator (keeps the MMU disarmed)
+        load  r4
+        store r5
+        load  r3
+        store r4
+        load  r2
+        store r3
+        load  r6
+        addi  1
+        store r6
+        br    loop
+        halt

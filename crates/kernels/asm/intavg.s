@@ -1,0 +1,25 @@
+; IntAvg kernel (streaming): exponential smoothing, alpha = 1/4.
+;
+; avg += (x - avg) >> 2 (arithmetic shift). Reads eight 3-bit samples and
+; emits the updated average after each. This is the paper's IIR low-pass
+; de-noising filter; right shifts make it expensive on the base ISA
+; (Listing 1) and a major beneficiary of the barrel-shifter extension.
+;
+; registers: r2 avg, r3 loop counter (asr1/sub clobber r6/r7)
+        ldi   0
+        store r2
+        ldi   -8
+        store r3
+loop:
+        load  r0            ; x in 0..7
+        sub   r2            ; x - avg, signed
+        asr1
+        asr1                ; (x - avg) >> 2
+        add   r2
+        store r2
+        store r1            ; emit new average
+        load  r3
+        addi  1
+        store r3
+        br    loop
+        halt

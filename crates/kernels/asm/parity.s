@@ -1,0 +1,34 @@
+; Parity Check kernel (reactive, 8-bit input).
+;
+; Reads an 8-bit word as two nibbles (low first), computes even parity
+; (1 if an odd number of bits are set) and writes it to the output port.
+;
+; registers: r2 folded nibble, r3 parity, r4 bit counter
+        load  r0
+        store r2
+        load  r0
+        xor   r2
+        store r2            ; parity(word) == parity(lo ^ hi)
+        ldi   0
+        store r3
+        ldi   -4
+        store r4
+bitloop:
+        load  r2
+        br    bit_set       ; branch tests the nibble's MSB
+        jmp   bit_next
+bit_set:
+        load  r3
+        xori  1
+        store r3
+bit_next:
+        load  r2
+        add   r2            ; shift the next bit up to the MSB
+        store r2
+        load  r4
+        addi  1
+        store r4
+        br    bitloop
+        load  r3
+        store r1
+        halt

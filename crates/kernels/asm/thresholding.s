@@ -1,0 +1,29 @@
+; Thresholding kernel (streaming, 8-bit samples).
+;
+; Reads eight 8-bit samples (two nibbles each, low first) and, after each,
+; emits a sticky flag that is 1 once any sample exceeded 0x5A (90) — the
+; out-of-range detector of the paper's sensor applications. The per-sample
+; work is one full 8-bit unsigned compare (`brltu8`): nibble-wise borrow
+; chains on the base ISA, two coalesced SUB/SWB instructions with the ADC
+; extension — the §6.1 data-coalescing showcase.
+;
+; registers: r2 counter, r3 flag, r4 sample lo, r5 sample hi
+;            (brltu8 clobbers acc, r6 and r7)
+        ldi   -8
+        store r2            ; r3 (the flag) powers up at 0: DFF_R reset
+loop:
+        load  r0
+        store r4            ; sample low nibble
+        load  r0
+        store r5            ; sample high nibble
+        brltu8 r4, r5, 0xB, 0x5, below  ; sample < 0x5B: not above threshold
+        ldi   1
+        store r3
+below:
+        load  r3
+        store r1            ; emit current flag
+        load  r2
+        addi  1
+        store r2
+        br    loop
+        halt

@@ -1,0 +1,61 @@
+; XorShift8 kernel (reactive, 8-bit state).
+;
+; One step of the full-period Marsaglia xorshift with triple (3, 5, 7):
+;   x ^= x << 3;  x ^= x >> 5;  x ^= x << 7
+; State arrives as two nibbles (low first) and the successor is written
+; back as two nibbles separated by zeros (the zero separators keep the
+; off-chip MMU transducer disarmed).
+;
+; registers: r2 lo, r3 hi, r4 saved lo, r5 temp (lsr1/or use r6/r7)
+        load  r0
+        store r2            ; lo
+        load  r0
+        store r3            ; hi
+; ---- x ^= x << 3 :  lo ^= (lo<<3)&0xF ; hi ^= ((hi<<3)&0xF)|(lo>>1) ----
+        load  r2
+        store r4            ; t = old lo
+        add   r2            ; 2*lo
+        store r5
+        add   r5            ; 4*lo
+        store r5
+        add   r5            ; 8*lo
+        xor   r2
+        store r2            ; lo ^= t << 3
+        load  r3
+        add   r3
+        store r5
+        add   r5
+        store r5
+        add   r5
+        store r5            ; r5 = (hi<<3) & 0xF
+        load  r4
+        lsr1                ; t >> 1
+        or    r5
+        xor   r3
+        store r3            ; hi ^= (hi<<3)|(t>>1)
+; ---- x ^= x >> 5 :  lo ^= hi >> 1 ----
+        load  r3
+        lsr1
+        xor   r2
+        store r2
+; ---- x ^= x << 7 :  hi ^= (lo & 1) << 3 ----
+        load  r2
+        andi  1
+        store r5
+        add   r5            ; 2b
+        store r5
+        add   r5            ; 4b
+        store r5
+        add   r5            ; 8b
+        xor   r3
+        store r3
+; ---- emit successor ----
+        load  r2
+        store r1
+        ldi   0
+        store r1
+        load  r3
+        store r1
+        ldi   0
+        store r1
+        halt

@@ -1,0 +1,235 @@
+//! Kernel execution harness: assemble → simulate → verify against oracle.
+
+use crate::{oracle, sources, Kernel};
+use flexasm::{AsmError, Target};
+use flexcore_dialect::run_on_dialect;
+use flexicore::io::{RecordingOutput, ScriptedInput};
+use flexicore::isa::Dialect;
+use flexicore::sim::RunResult;
+use flexicore::SimError;
+
+/// Cycle budget for one kernel execution (generous; base-ISA shifts are
+/// expensive but bounded).
+pub const CYCLE_BUDGET: u64 = 200_000;
+
+/// The outcome of one verified kernel execution.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Payload outputs (protocol escapes/separators stripped).
+    pub outputs: Vec<u8>,
+    /// Every value driven on the output port, in order.
+    pub raw_outputs: Vec<u8>,
+    /// Architectural run statistics from the functional simulator.
+    pub result: RunResult,
+    /// Whether the raw stream matched the oracle exactly.
+    pub verified: bool,
+    /// Static instruction count of the assembled program.
+    pub static_instructions: usize,
+    /// Code size in bytes.
+    pub code_bytes: usize,
+}
+
+/// Errors from [`run_kernel`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The kernel failed to assemble for the target.
+    Asm(AsmError),
+    /// The simulator faulted.
+    Sim(SimError),
+    /// Execution did not reach the halt idiom within [`CYCLE_BUDGET`].
+    DidNotHalt,
+    /// The output stream differed from the oracle.
+    OracleMismatch {
+        /// What the oracle predicted.
+        expected: Vec<u8>,
+        /// What the simulated core produced.
+        actual: Vec<u8>,
+    },
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RunError::Asm(e) => write!(f, "assembly failed: {e}"),
+            RunError::Sim(e) => write!(f, "simulation faulted: {e}"),
+            RunError::DidNotHalt => write!(f, "kernel did not halt within the cycle budget"),
+            RunError::OracleMismatch { expected, actual } => write!(
+                f,
+                "output mismatch: expected {expected:02x?}, got {actual:02x?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<AsmError> for RunError {
+    fn from(e: AsmError) -> Self {
+        RunError::Asm(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Assemble `kernel` for `target`, execute it on the matching functional
+/// simulator with `inputs` scripted on the input port, and verify the
+/// output stream against the oracle.
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn run_kernel(kernel: Kernel, target: Target, inputs: &[u8]) -> Result<KernelRun, RunError> {
+    let source = sources::source_for(kernel, target.dialect);
+    let assembly = flexasm::Assembler::new(target).assemble(&source)?;
+    let static_instructions = assembly.static_instructions();
+    let code_bytes = assembly.code_bytes();
+    let program = assembly.into_program();
+
+    let mut input = ScriptedInput::new(inputs.to_vec());
+    let mut output = RecordingOutput::new();
+    let result = run_on_dialect(target, program, &mut input, &mut output, CYCLE_BUDGET)?;
+    if !result.halted() {
+        return Err(RunError::DidNotHalt);
+    }
+
+    let raw_outputs = output.values();
+    let expected = oracle::expected_outputs(kernel, target.dialect, inputs);
+    if raw_outputs != expected {
+        return Err(RunError::OracleMismatch {
+            expected,
+            actual: raw_outputs,
+        });
+    }
+    let outputs = oracle::payload(kernel, target.dialect, &raw_outputs);
+    Ok(KernelRun {
+        outputs,
+        raw_outputs,
+        result,
+        verified: true,
+        static_instructions,
+        code_bytes,
+    })
+}
+
+/// Dialect dispatch for running an assembled program on the right
+/// functional simulator.
+mod flexcore_dialect {
+    use super::*;
+    use flexicore::io::{InputPort, OutputPort};
+    use flexicore::program::Program;
+    use flexicore::sim::fc4::Fc4Core;
+    use flexicore::sim::fc8::Fc8Core;
+    use flexicore::sim::xacc::XaccCore;
+    use flexicore::sim::xls::XlsCore;
+
+    pub fn run_on_dialect<I: InputPort, O: OutputPort>(
+        target: Target,
+        program: Program,
+        input: &mut I,
+        output: &mut O,
+        budget: u64,
+    ) -> Result<RunResult, SimError> {
+        match target.dialect {
+            Dialect::Fc4 => Fc4Core::new(program).run(input, output, budget),
+            Dialect::Fc8 => Fc8Core::new(program).run(input, output, budget),
+            Dialect::ExtendedAcc => {
+                XaccCore::new(target.features, program).run(input, output, budget)
+            }
+            Dialect::LoadStore => XlsCore::new(target.features, program).run(input, output, budget),
+        }
+    }
+}
+
+/// Aggregate statistics over many input cases (one Figure 8 data point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelStats {
+    /// Mean retired instructions per execution.
+    pub mean_instructions: f64,
+    /// Mean clock cycles per execution (ISA-level).
+    pub mean_cycles: f64,
+    /// Mean taken branches per execution.
+    pub mean_taken_branches: f64,
+    /// Mean program bytes fetched per execution.
+    pub mean_fetched_bytes: f64,
+    /// Number of cases measured.
+    pub cases: usize,
+    /// Static instruction count (same for every case).
+    pub static_instructions: usize,
+    /// Code bytes (same for every case).
+    pub code_bytes: usize,
+}
+
+/// Run `kernel` over every case in `cases` and average the architectural
+/// counts. Every case is oracle-verified; the first failure aborts.
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn measure(kernel: Kernel, target: Target, cases: &[Vec<u8>]) -> Result<KernelStats, RunError> {
+    assert!(!cases.is_empty(), "need at least one input case");
+    let mut instructions = 0u64;
+    let mut cycles = 0u64;
+    let mut taken = 0u64;
+    let mut fetched = 0u64;
+    let mut static_instructions = 0;
+    let mut code_bytes = 0;
+    for case in cases {
+        let run = run_kernel(kernel, target, case)?;
+        instructions += run.result.instructions;
+        cycles += run.result.cycles;
+        taken += run.result.taken_branches;
+        fetched += run.result.fetched_bytes;
+        static_instructions = run.static_instructions;
+        code_bytes = run.code_bytes;
+    }
+    let n = cases.len() as f64;
+    Ok(KernelStats {
+        mean_instructions: instructions as f64 / n,
+        mean_cycles: cycles as f64 / n,
+        mean_taken_branches: taken as f64 / n,
+        mean_fetched_bytes: fetched as f64 / n,
+        cases: cases.len(),
+        static_instructions,
+        code_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::Sampler;
+
+    #[test]
+    fn parity_on_fc4_matches_oracle() {
+        let run = run_kernel(Kernel::ParityCheck, Target::fc4(), &[0x1, 0x0]).unwrap();
+        assert!(run.verified);
+        assert_eq!(run.outputs, vec![1]);
+    }
+
+    #[test]
+    fn thresholding_on_fc4() {
+        // samples 0x21, 0x7B (> 0x5A), then zeros: sticky from sample 2
+        let run = run_kernel(
+            Kernel::Thresholding,
+            Target::fc4(),
+            &[1, 2, 0xB, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        )
+        .unwrap();
+        assert_eq!(run.outputs, vec![0, 1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn measure_averages_over_cases() {
+        let mut s = Sampler::new(Kernel::ParityCheck, 3);
+        let cases = s.draw_many(10);
+        let stats = measure(Kernel::ParityCheck, Target::fc4(), &cases).unwrap();
+        assert_eq!(stats.cases, 10);
+        assert!(stats.mean_instructions > 10.0);
+        assert!(stats.static_instructions > 0);
+    }
+}

@@ -1,0 +1,711 @@
+//! Kernel assembly sources.
+//!
+//! Five kernels are hand-written `.s` files embedded at compile time. The
+//! Calculator and Decision Tree are *generated*: their repetitive bodies
+//! (four unrolled multiplier iterations, 31 tree nodes) come from the same
+//! Rust tables the oracles use, which keeps program and golden model in
+//! lock-step by construction.
+
+use crate::Kernel;
+use flexicore::isa::Dialect;
+use std::fmt::Write;
+
+/// The assembly source for `kernel` targeting `dialect` (the accumulator
+/// dialects share one source; the load-store dialect has its own).
+#[must_use]
+pub fn source_for(kernel: Kernel, dialect: Dialect) -> String {
+    match dialect {
+        Dialect::LoadStore => source_ls(kernel),
+        _ => source(kernel),
+    }
+}
+
+/// The accumulator-dialect assembly source for `kernel`.
+#[must_use]
+pub fn source(kernel: Kernel) -> String {
+    match kernel {
+        Kernel::Calculator => calculator_source(),
+        Kernel::FirFilter => include_str!("../asm/fir4.s").to_string(),
+        Kernel::DecisionTree => decision_tree_source(),
+        Kernel::IntAvg => include_str!("../asm/intavg.s").to_string(),
+        Kernel::Thresholding => include_str!("../asm/thresholding.s").to_string(),
+        Kernel::ParityCheck => include_str!("../asm/parity.s").to_string(),
+        Kernel::XorShift8 => include_str!("../asm/xorshift8.s").to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calculator
+// ---------------------------------------------------------------------------
+
+/// MMU pages holding the four unrolled multiplier iterations.
+pub const CALC_MUL_PAGES: [u8; 4] = [1, 2, 3, 4];
+/// MMU page holding the divider.
+pub const CALC_DIV_PAGE: u8 = 5;
+/// MMU page holding the subtract path (page 0 cannot hold both add and
+/// subtract once the unsigned comparisons are expanded).
+pub const CALC_SUB_PAGE: u8 = 6;
+
+/// Four-function calculator: read `op, a, b`; emit the result nibbles
+/// separated by zeros. Multiplication (op 2) and division (op 3) live in
+/// their own MMU pages, reached through `pjmp` — this kernel is why the
+/// paper's §5.1 needs the off-chip MMU at all.
+fn calculator_source() -> String {
+    let mut s = String::new();
+    s.push_str(
+        "\
+; Calculator kernel (interactive, generated).
+; inputs: op (0 add, 1 sub, 2 mul, 3 div), a, b     all 4-bit
+; registers: r2 op -> plo/quotient, r3 a/remainder, r4 b, r5 phi/~b,
+;            r6 ~a (mul), r7 sub-pseudo scratch
+        load  r0
+        store r2            ; op
+        load  r0
+        store r3            ; a
+        load  r0
+        store r4            ; b
+        load  r2
+        subi  1
+        br    do_add
+        load  r2
+        subi  2
+        br    @to_sub
+        load  r2
+        subi  3
+        br    go_mul
+        pjmp  5, div_entry  ; op 3 falls through to divide
+@to_sub:
+        pjmp  6, do_sub
+go_mul:
+        pjmp  1, mul_init
+do_add:
+        load  r3
+        add   r4
+        store r1            ; sum (mod 16)
+        ldi   0
+        store r1
+        load  r4
+        nandi 15
+        store r5            ; ~b = 15 - b
+        brgtu r3, r5, add_c1 ; carry out iff a > 15 - b
+        ldi   0
+        store r1            ; carry-out = 0 (fall-through)
+        store r1            ; separator (acc already zero)
+        halt
+add_c1:
+        ldi   1
+        store r1            ; carry-out = 1
+        ldi   0
+        store r1
+        halt
+.page 6
+do_sub:
+        load  r3
+        sub   r4
+        store r1            ; difference (mod 16)
+        ldi   0
+        store r1
+        brgtu r4, r3, sub_b1 ; borrow iff b > a
+        ldi   0
+        store r1            ; borrow-out = 0 (fall-through)
+        store r1            ; separator (acc already zero)
+        halt
+sub_b1:
+        ldi   1
+        store r1            ; borrow-out = 1
+        ldi   0
+        store r1
+        halt
+",
+    );
+
+    // four unrolled shift-add multiplier iterations, one MMU page each
+    for (idx, page) in CALC_MUL_PAGES.iter().enumerate() {
+        let i = idx + 1;
+        let _ = writeln!(s, ".page {page}");
+        if i == 1 {
+            s.push_str(
+                "\
+mul_init:
+        ldi   0
+        store r2            ; product low
+        store r5            ; product high
+",
+            );
+        }
+        let _ = writeln!(s, "mul_iter_{i}:");
+        // P <<= 1 (8-bit product in r2/r5, cross-nibble carry via sign test)
+        let _ = writeln!(
+            s,
+            "\
+        load  r5
+        add   r5
+        store r5            ; phi <<= 1
+        load  r2
+        br    @mcy_{i}
+        jmp   @mnc_{i}
+@mcy_{i}:
+        load  r5
+        addi  1
+        store r5            ; carry from plo's old MSB
+@mnc_{i}:
+        load  r2
+        add   r2
+        store r2            ; plo <<= 1
+        load  r4
+        br    @madd_{i}     ; multiplier MSB set: P += a
+        jmp   @mskip_{i}
+@madd_{i}:
+        load  r3
+        nandi 15
+        store r6            ; ~a
+        brgtu r2, r6, @mac_{i}  ; carry iff plo > ~a
+        jmp   @mdo_{i}
+@mac_{i}:
+        load  r5
+        addi  1
+        store r5            ; plo + a will wrap: bump phi
+@mdo_{i}:
+        load  r2
+        add   r3
+        store r2            ; plo += a
+@mskip_{i}:
+        load  r4
+        add   r4
+        store r4            ; consume the multiplier MSB"
+        );
+        if i < 4 {
+            let _ = writeln!(
+                s,
+                "        pjmp  {}, mul_iter_{}",
+                CALC_MUL_PAGES[idx + 1],
+                i + 1
+            );
+        } else {
+            s.push_str(
+                "\
+        load  r2
+        store r1            ; product low
+        ldi   0
+        store r1
+        load  r5
+        store r1            ; product high
+        ldi   0
+        store r1
+        halt
+",
+            );
+        }
+    }
+
+    // divider: repeated subtraction
+    let _ = writeln!(s, ".page {CALC_DIV_PAGE}");
+    s.push_str(
+        "\
+div_entry:
+        ldi   0
+        store r2            ; quotient
+div_loop:
+        brgtu r4, r3, div_done ; divisor exceeds remainder: finished
+        load  r3
+        sub   r4
+        store r3            ; remainder -= b
+        load  r2
+        addi  1
+        store r2            ; quotient += 1
+        jmp   div_loop
+div_done:
+        load  r2
+        store r1            ; quotient
+        ldi   0
+        store r1
+        load  r3
+        store r1            ; remainder
+        ldi   0
+        store r1
+        halt
+",
+    );
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Decision Tree
+// ---------------------------------------------------------------------------
+
+/// A depth-4 complete decision tree over three 3-bit features.
+///
+/// Nodes are heap-indexed 1..=15; node `i` at depth `d` tests
+/// `feature[d % 3] > threshold(i)` and routes right when true. Leaves
+/// 16..=31 output class `leaf - 16`. The same table drives both the
+/// generated assembly and the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionTreeSpec;
+
+impl DecisionTreeSpec {
+    /// Feature index tested by heap node `i` (1..=15).
+    #[must_use]
+    pub fn feature(i: usize) -> usize {
+        debug_assert!((1..=15).contains(&i));
+        let depth = usize::BITS as usize - 1 - i.leading_zeros() as usize;
+        depth % 3
+    }
+
+    /// Threshold tested by heap node `i` (values 0..=6 so the signed-nibble
+    /// comparison is exact for 3-bit features).
+    #[must_use]
+    pub fn threshold(i: usize) -> u8 {
+        debug_assert!((1..=15).contains(&i));
+        ((i * 5 + 3) % 7) as u8
+    }
+
+    /// Classify `features` (each 0..=7), mirroring the kernel exactly.
+    #[must_use]
+    pub fn classify(features: [u8; 3]) -> u8 {
+        let mut i = 1usize;
+        while i < 16 {
+            let f = features[Self::feature(i)] & 0x7;
+            i = if f > Self::threshold(i) {
+                2 * i + 1
+            } else {
+                2 * i
+            };
+        }
+        (i - 16) as u8
+    }
+}
+
+/// MMU page holding the left subtree (root test false).
+pub const TREE_LEFT_PAGE: u8 = 1;
+/// MMU page holding the right subtree (root test true).
+pub const TREE_RIGHT_PAGE: u8 = 2;
+
+fn decision_tree_source() -> String {
+    let mut s = String::new();
+    s.push_str(
+        "\
+; Decision Tree kernel (reactive, generated).
+; inputs: three 3-bit features f0, f1, f2
+; output: leaf class (0..15) followed by a zero separator
+        load  r0
+        store r2            ; f0
+        load  r0
+        store r3            ; f1
+        load  r0
+        store r4            ; f2
+",
+    );
+    // root node (heap index 1) routes to one of two subtree pages
+    let f = DecisionTreeSpec::feature(1);
+    let t = DecisionTreeSpec::threshold(1);
+    let _ = writeln!(
+        s,
+        "\
+        load  r{reg}
+        subi  {cmp}
+        br    @root_left
+        jmp   @root_right
+@root_left:
+        pjmp  {lp}, node_2
+@root_right:
+        pjmp  {rp}, node_3",
+        reg = 2 + f,
+        cmp = t + 1,
+        lp = TREE_LEFT_PAGE,
+        rp = TREE_RIGHT_PAGE,
+    );
+
+    // Subtree pages. Nodes are emitted depth-first with the *right* child
+    // as the fall-through path, so each internal node costs only a compare
+    // and one branch; leaves stash their class in r5 and share one output
+    // tail per page. This keeps a subtree within a 128-byte page even for
+    // the verbose base-ISA expansions.
+    for (page, top) in [(TREE_LEFT_PAGE, 2usize), (TREE_RIGHT_PAGE, 3usize)] {
+        let _ = writeln!(s, ".page {page}");
+        let out = format!("out_{page}");
+        emit_subtree(&mut s, top, &out);
+        let _ = writeln!(
+            s,
+            "\
+{out}:
+        load  r5
+        store r1
+        ldi   0
+        store r1
+        halt"
+        );
+    }
+    s
+}
+
+fn emit_subtree(s: &mut String, i: usize, out: &str) {
+    if i >= 16 {
+        // leaf: classes 8..=15 are written as negative nibbles so they fit
+        // every dialect's load-immediate range
+        let class = i as i64 - 16;
+        let imm = if class >= 8 { class - 16 } else { class };
+        let _ = writeln!(
+            s,
+            "\
+node_{i}:
+        ldi   {imm}
+        store r5
+        jmp   {out}"
+        );
+        return;
+    }
+    let f = DecisionTreeSpec::feature(i);
+    let t = DecisionTreeSpec::threshold(i);
+    let _ = writeln!(
+        s,
+        "\
+node_{i}:
+        load  r{reg}
+        subi  {cmp}
+        br    node_{left}",
+        reg = 2 + f,
+        cmp = t + 1,
+        left = 2 * i,
+    );
+    emit_subtree(s, 2 * i + 1, out); // fall-through: feature > threshold
+    emit_subtree(s, 2 * i, out); // branch target: feature <= threshold
+}
+
+// ---------------------------------------------------------------------------
+// load-store sources (§6.2's two-operand machine, revised feature set)
+// ---------------------------------------------------------------------------
+
+/// The load-store-dialect source for `kernel`.
+///
+/// These are genuinely different programs, not transliterations: the
+/// two-operand model plus the architected carry flag turn the base ISA's
+/// 30-instruction unsigned comparisons into `sub` + `adci` + one branch,
+/// which is where the load-store machine's code-density edge in Figure 12
+/// comes from.
+#[must_use]
+pub fn source_ls(kernel: Kernel) -> String {
+    match kernel {
+        Kernel::Calculator => calculator_ls_source(),
+        Kernel::DecisionTree => decision_tree_ls_source(),
+        Kernel::FirFilter => FIR_LS.to_string(),
+        Kernel::IntAvg => INTAVG_LS.to_string(),
+        Kernel::Thresholding => THRESHOLDING_LS.to_string(),
+        Kernel::ParityCheck => PARITY_LS.to_string(),
+        Kernel::XorShift8 => XORSHIFT_LS.to_string(),
+    }
+}
+
+const THRESHOLDING_LS: &str = "
+; Thresholding (load-store): sticky flag over eight 8-bit samples
+; (> 0x5A), one coalesced SUB/SWB borrow chain per sample.
+        movi r2, -8
+        movi r3, 0
+loop:
+        mov  r4, r0          ; sample low nibble
+        mov  r5, r0          ; sample high nibble
+        movi r6, -5          ; 0xB as a signed nibble
+        mov  r7, r4
+        sub  r7, r6          ; carry = lo >= 0xB
+        movi r6, 5
+        mov  r7, r5
+        swb  r7, r6          ; carry = sample >= 0x5B
+        movi r7, 0
+        adci r7, 0           ; r7 = carry, flags track it
+        br.z below           ; no carry: sample <= 0x5A
+        movi r3, 1
+below:
+        mov  r1, r3
+        addi r2, 1
+        br.n loop
+        halt
+";
+
+const PARITY_LS: &str = "
+; Parity Check (load-store): parity of an 8-bit word (two nibbles).
+        mov  r2, r0
+        mov  r4, r0
+        xor  r2, r4          ; parity(word) == parity(lo ^ hi)
+        movi r3, 0
+        movi r4, -4
+bitloop:
+        mov  r5, r2          ; sets flags on the nibble
+        br.n bit_set
+        jmp  bit_next
+bit_set:
+        xori r3, 1
+bit_next:
+        add  r2, r2
+        addi r4, 1
+        br.n bitloop
+        mov  r1, r3
+        halt
+";
+
+const FIR_LS: &str = "
+; Four-tap FIR (load-store), coefficients {+1, -1, +1, -1}.
+        movi r3, 0
+        movi r4, 0
+        movi r5, 0
+        movi r6, -8
+loop:
+        mov  r2, r0
+        mov  r7, r2
+        sub  r7, r3
+        add  r7, r4
+        sub  r7, r5
+        mov  r1, r7          ; y[n]
+        movi r7, 0
+        mov  r1, r7          ; zero separator (same protocol as fc4)
+        mov  r5, r4
+        mov  r4, r3
+        mov  r3, r2
+        addi r6, 1
+        br.n loop
+        halt
+";
+
+const INTAVG_LS: &str = "
+; IntAvg (load-store): avg += (x - avg) >> 2, arithmetic shift.
+        movi r2, 0
+        movi r3, -8
+loop:
+        mov  r4, r0
+        sub  r4, r2
+        asri r4, 2
+        add  r2, r4
+        mov  r1, r2
+        addi r3, 1
+        br.n loop
+        halt
+";
+
+const XORSHIFT_LS: &str = "
+; XorShift8 (load-store): x ^= x<<3; x ^= x>>5; x ^= x<<7.
+        mov  r2, r0          ; lo
+        mov  r3, r0          ; hi
+; x ^= x << 3
+        mov  r4, r2          ; t = lo
+        mov  r5, r2
+        add  r5, r5
+        add  r5, r5
+        add  r5, r5          ; (lo<<3) & 0xF
+        xor  r2, r5
+        mov  r5, r3
+        add  r5, r5
+        add  r5, r5
+        add  r5, r5          ; (hi<<3) & 0xF
+        mov  r6, r4
+        lsri r6, 1           ; t >> 1
+        or   r5, r6
+        xor  r3, r5
+; x ^= x >> 5
+        mov  r5, r3
+        lsri r5, 1
+        xor  r2, r5
+; x ^= x << 7
+        mov  r5, r2
+        andi r5, 1
+        add  r5, r5
+        add  r5, r5
+        add  r5, r5          ; (lo & 1) << 3
+        xor  r3, r5
+; emit successor, zero-separated
+        mov  r1, r2
+        movi r7, 0
+        mov  r1, r7
+        mov  r1, r3
+        mov  r1, r7
+        halt
+";
+
+/// Carry-flag-based unsigned comparison for the load-store machine:
+/// continues at `ge` when `r<x> >= r<m>` (unsigned), else falls through.
+/// Leaves `x - m` in r6. Clobbers r6/r7 and the flags.
+fn ls_ucmp_ge(out: &mut String, x: u8, m: u8, ge: &str) {
+    let _ = writeln!(
+        out,
+        "\
+        mov  r6, r{x}
+        sub  r6, r{m}        ; carry = no borrow = x >= m
+        movi r7, 0
+        adci r7, 0           ; r7 = carry, flags track it
+        br.p {ge}"
+    );
+}
+
+fn calculator_ls_source() -> String {
+    let mut s = String::new();
+    s.push_str(
+        "\
+; Calculator (load-store, generated): op, a, b -> result, 0, aux, 0.
+; registers: r2 op/counter, r3 a/remainder, r4 b, r5 result, r6 aux/scratch
+        mov  r2, r0
+        mov  r3, r0
+        mov  r4, r0
+        subi r2, 1
+        br.n do_add
+        subi r2, 1
+        br.n do_sub
+        subi r2, 1
+        br.n do_mul
+; ---- divide: quotient in r5, remainder in r3 ----
+        movi r5, 0
+div_loop:
+",
+    );
+    ls_ucmp_ge(&mut s, 3, 4, "@div_step");
+    s.push_str(
+        "\
+        jmp  div_done
+@div_step:
+        mov  r3, r6          ; remainder -= b (r6 holds rem - b already)
+        addi r5, 1
+        jmp  div_loop
+div_done:
+        mov  r6, r3          ; aux = remainder
+        jmp  emit
+; ---- add: sum + carry ----
+do_add:
+        mov  r5, r3
+        add  r5, r4          ; sets carry
+        movi r6, 0
+        adci r6, 0           ; aux = carry-out
+        jmp  emit
+; ---- subtract: difference + borrow ----
+do_sub:
+        mov  r5, r3
+        sub  r5, r4          ; carry = no borrow
+        movi r6, 0
+        adci r6, 0
+        neg  r6
+        addi r6, 1           ; aux = borrow = 1 - carry
+        jmp  emit
+; ---- multiply: 4x4 -> 8, shift-add with the carry flag ----
+do_mul:
+        movi r5, 0           ; product low
+        movi r6, 0           ; product high
+        movi r2, -4
+mul_loop:
+        add  r6, r6          ; phi <<= 1
+        mov  r7, r5
+        br.n @mc
+        jmp  @mnc
+@mc:
+        addi r6, 1
+@mnc:
+        add  r5, r5          ; plo <<= 1
+        mov  r7, r4
+        br.n @madd
+        jmp  @mskip
+@madd:
+        add  r5, r3          ; plo += a, sets carry
+        movi r7, 0
+        adci r7, 0
+        add  r6, r7          ; phi += carry
+@mskip:
+        add  r4, r4
+        addi r2, 1
+        br.n mul_loop
+        jmp  emit
+; ---- common output ----
+emit:
+        mov  r1, r5
+        movi r7, 0
+        mov  r1, r7
+        mov  r1, r6
+        mov  r1, r7
+        halt
+",
+    );
+    s
+}
+
+fn decision_tree_ls_source() -> String {
+    let mut s = String::new();
+    s.push_str(
+        "\
+; Decision Tree (load-store, generated): three 3-bit features -> class.
+        mov  r2, r0
+        mov  r3, r0
+        mov  r4, r0
+",
+    );
+    for i in 1..=15usize {
+        let f = DecisionTreeSpec::feature(i);
+        let t = DecisionTreeSpec::threshold(i);
+        let _ = writeln!(
+            s,
+            "\
+node_{i}:
+        mov  r5, r{reg}
+        subi r5, {cmp}
+        br.n node_{left}
+        jmp  node_{right}",
+            reg = 2 + f,
+            cmp = t + 1,
+            left = 2 * i,
+            right = 2 * i + 1,
+        );
+    }
+    for leaf in 16..=31usize {
+        let _ = writeln!(
+            s,
+            "\
+node_{leaf}:
+        movi r5, {class}
+        jmp  out",
+            class = leaf as i64 - 16 - if leaf >= 24 { 16 } else { 0 },
+        );
+    }
+    s.push_str(
+        "\
+out:
+        mov  r1, r5
+        movi r5, 0
+        mov  r1, r5
+        halt
+",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_has_nonempty_source() {
+        for k in Kernel::ALL {
+            assert!(!source(k).is_empty(), "{k}");
+        }
+    }
+
+    #[test]
+    fn tree_spec_is_deterministic_and_depth_four() {
+        for i in 1..=15 {
+            assert!(DecisionTreeSpec::threshold(i) <= 6);
+            assert!(DecisionTreeSpec::feature(i) < 3);
+        }
+        // depth: features per level = 0,1,2,0
+        assert_eq!(DecisionTreeSpec::feature(1), 0);
+        assert_eq!(DecisionTreeSpec::feature(2), 1);
+        assert_eq!(DecisionTreeSpec::feature(7), 2);
+        assert_eq!(DecisionTreeSpec::feature(8), 0);
+        // classification reaches every leaf index range
+        let c = DecisionTreeSpec::classify([0, 0, 0]);
+        assert!(c < 16);
+        let c2 = DecisionTreeSpec::classify([7, 7, 7]);
+        assert!(c2 < 16);
+        assert_ne!(c, c2);
+    }
+
+    #[test]
+    fn generated_sources_mention_their_pages() {
+        let calc = calculator_source();
+        assert!(calc.contains(".page 1"));
+        assert!(calc.contains(".page 5"));
+        let tree = decision_tree_source();
+        assert!(tree.contains(".page 1"));
+        assert!(tree.contains(".page 2"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Cross-target kernel validation: every kernel must assemble, run and
+//! match its oracle on the base FlexiCore4, on every single-extension
+//! configuration of the extended accumulator ISA, on the revised ISA, and
+//! (via its own source) on the load-store machine.
+
+use flexasm::Target;
+use flexicore::isa::features::{Feature, FeatureSet};
+use flexkernels::inputs::Sampler;
+use flexkernels::Kernel;
+
+fn check(kernel: Kernel, target: Target, tag: &str) {
+    let mut sampler = Sampler::new(kernel, 0xF1E0);
+    for (i, case) in sampler.draw_many(12).iter().enumerate() {
+        match kernel.run(target, case) {
+            Ok(run) => assert!(run.verified),
+            Err(e) => panic!("{kernel} on {tag}, case {i} {case:?}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn all_kernels_on_fc4() {
+    for k in Kernel::ALL {
+        check(k, Target::fc4(), "fc4");
+    }
+}
+
+#[test]
+fn all_kernels_on_xacc_base() {
+    for k in Kernel::ALL {
+        check(k, Target::xacc(FeatureSet::BASE), "xacc-base");
+    }
+}
+
+#[test]
+fn all_kernels_on_every_single_extension() {
+    for f in Feature::ALL {
+        let target = Target::xacc(FeatureSet::only(f));
+        for k in Kernel::ALL {
+            check(k, target, &format!("xacc+{f}"));
+        }
+    }
+}
+
+#[test]
+fn all_kernels_on_revised_acc() {
+    for k in Kernel::ALL {
+        check(k, Target::xacc_revised(), "xacc-revised");
+    }
+}
+
+#[test]
+fn all_kernels_on_load_store_revised() {
+    for k in Kernel::ALL {
+        check(k, Target::xls_revised(), "xls-revised");
+    }
+}

@@ -1,0 +1,46 @@
+//! Exhaustive oracle verification for the kernels whose input spaces are
+//! fully enumerable — the paper's §5.2 "when possible, we perform
+//! exhaustive tests across the input space", done literally.
+
+use flexasm::Target;
+use flexkernels::inputs::exhaustive_cases;
+use flexkernels::Kernel;
+
+fn exhaustive(kernel: Kernel, target: Target) {
+    let cases = exhaustive_cases(kernel).expect("enumerable kernel");
+    for case in &cases {
+        let run = kernel
+            .run(target, case)
+            .unwrap_or_else(|e| panic!("{kernel} {case:?}: {e}"));
+        assert!(run.verified);
+    }
+}
+
+#[test]
+fn parity_is_exhaustively_correct_on_fc4() {
+    exhaustive(Kernel::ParityCheck, Target::fc4());
+}
+
+#[test]
+fn xorshift_is_exhaustively_correct_on_fc4() {
+    exhaustive(Kernel::XorShift8, Target::fc4());
+}
+
+#[test]
+fn decision_tree_is_exhaustively_correct_on_fc4() {
+    exhaustive(Kernel::DecisionTree, Target::fc4());
+}
+
+#[test]
+fn calculator_is_exhaustively_correct_on_fc4() {
+    // 4 ops × 16 × 16 operands (minus ÷0) through all seven MMU pages
+    exhaustive(Kernel::Calculator, Target::fc4());
+}
+
+#[test]
+fn parity_and_xorshift_exhaustive_on_revised_targets() {
+    for target in [Target::xacc_revised(), Target::xls_revised()] {
+        exhaustive(Kernel::ParityCheck, target);
+        exhaustive(Kernel::XorShift8, target);
+    }
+}

@@ -1,0 +1,84 @@
+//! Run the design-space exploration of §6 and print the trade-off view.
+//!
+//! Evaluates the FlexiCore4 baseline and the six DSE cores over the full
+//! benchmark suite, under both program-bus assumptions, and reports the
+//! Pareto frontier on (area, code size).
+//!
+//! ```sh
+//! cargo run --release -p flexbench --example dse_explore
+//! ```
+
+use flexdse::config::CoreConfig;
+use flexdse::pareto::{figure12_points, pareto_frontier, summarize};
+use flexdse::perf::evaluate;
+use flexicore::uarch::BusWidth;
+
+fn main() {
+    println!("design-space exploration: accumulator vs load-store × SC/P/MC\n");
+
+    let summary = summarize().expect("population evaluates");
+    let base = &summary.population[0];
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>11} {:>11}",
+        "config", "area", "fmax kHz", "power mW", "time (rel)", "energy(rel)"
+    );
+    for r in &summary.population {
+        println!(
+            "{:<10} {:>10.0} {:>10.1} {:>10.2} {:>11.2} {:>11.2}",
+            if r.config.features.is_base() {
+                "FC4 base".to_string()
+            } else {
+                r.config.label()
+            },
+            r.cost.area_nand2,
+            r.cost.fmax_hz(4.5) / 1000.0,
+            r.cost.static_power_mw(4.5),
+            r.geomean_time_ms() / base.geomean_time_ms(),
+            r.geomean_energy_uj() / base.geomean_energy_uj(),
+        );
+    }
+
+    println!(
+        "\nheadline: energy {:.2}..{:.2}x, area {:.2}..{:.2}x, best code {:.2}x, speedup up to {:.2}x",
+        summary.energy_range.0,
+        summary.energy_range.1,
+        summary.area_range.0,
+        summary.area_range.1,
+        summary.best_code,
+        summary.speedup_range.1,
+    );
+
+    // the §6.2 bus constraint: which cores survive an 8-bit program bus?
+    println!("\nwith the fabricated 8-bit program bus:");
+    for cfg in CoreConfig::dse_cores() {
+        let r = evaluate(&cfg, BusWidth::BYTE).expect("evaluates");
+        println!(
+            "  {:<8} {}",
+            cfg.label(),
+            if r.feasible {
+                format!(
+                    "feasible, {:.2}x baseline energy",
+                    r.geomean_energy_uj() / base.geomean_energy_uj()
+                )
+            } else {
+                "infeasible (cannot fetch a 16-bit instruction per cycle)".to_string()
+            }
+        );
+    }
+
+    let points = figure12_points().expect("points compute");
+    let frontier = pareto_frontier(&points);
+    println!("\nPareto frontier on (area, code size):");
+    for p in frontier {
+        println!(
+            "  {:<10} area {:.2}x, code {:.2}x",
+            if (p.rel_area - 1.0).abs() < 1e-9 {
+                "FC4 base".to_string()
+            } else {
+                p.config.label()
+            },
+            p.rel_area,
+            p.rel_code
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Fabricate and probe-test a virtual wafer of FlexiCores (§4).
+//!
+//! Prints the Figure 6-style error map, the Figure 7-style current map,
+//! and the yield/variation statistics for one wafer at both test voltages.
+//! Pass a different seed to fabricate a different wafer:
+//!
+//! ```sh
+//! cargo run --release -p flexbench --example wafer_yield -- 7
+//! ```
+
+use flexfab::wafer_run::{CoreDesign, WaferExperiment};
+use flexfab::wafermap;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(flexfab::calibration::seeds::YIELD);
+
+    let exp = WaferExperiment::new(CoreDesign::FlexiCore4, seed);
+    println!(
+        "FlexiCore4 wafer (seed {seed:#x}): {} dies, {} in the inclusion zone\n",
+        exp.layout().die_count(),
+        exp.layout().inclusion_count()
+    );
+
+    for voltage in [4.5, 3.0] {
+        let run = exp.run(voltage, 20_000);
+        println!("--- test at {voltage} V ---");
+        println!(
+            "error map ('.' functional, ',' functional in edge zone, digits = error magnitude):"
+        );
+        print!("{}", wafermap::error_map(&run));
+        let stats = run.current_stats();
+        println!(
+            "yield: {:.0}% full wafer, {:.0}% inclusion zone",
+            run.yield_full() * 100.0,
+            run.yield_inclusion() * 100.0
+        );
+        println!(
+            "current draw (functional dies): mean {:.2} mA, range {:.2}..{:.2} mA, RSD {:.1}%\n",
+            stats.mean_ma,
+            stats.min_ma,
+            stats.max_ma,
+            stats.rsd * 100.0
+        );
+    }
+
+    let run = exp.run(4.5, 5_000);
+    println!("current-draw map at 4.5 V (darker = more current):");
+    print!("{}", wafermap::current_map(&run));
+    println!(
+        "\nCSV for external plotting:\n{}",
+        &wafermap::to_csv(&run)[..240]
+    );
+    println!("...");
+}
