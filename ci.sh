@@ -1,0 +1,21 @@
+#!/bin/sh
+# The full local gate: everything CI would run, in the order that fails
+# fastest. Pass `--offline` through automatically — this repo vendors
+# every dependency and must build without a network.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test =="
+cargo test --offline --workspace -q
+
+echo "== cargo clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "ci: all green"

@@ -27,7 +27,7 @@ fn main() {
     let layout = WaferLayout::new();
     let netlist = flexrtl::build_fc4();
     let area = Report::of(&netlist).total.area_mm2();
-    let tester = Tester::new(&netlist, TestPlan::quick(4_000));
+    let tester = Tester::new(&netlist, TestPlan::quick(4_000)).expect("netlist validation failed");
     println!("{:>8} {:>12} {:>12}", "scale", "yield full", "yield incl");
     for scale in [0.5, 1.0, 2.0] {
         let vars = draw_wafer(WaferRecipe::Fc4, 0xAB1A, layout.sites(), area * scale);
@@ -52,7 +52,7 @@ fn main() {
 
     flexbench::header("Ablation 2 — edge-zone contribution");
     let exp = WaferExperiment::published(CoreDesign::FlexiCore4);
-    let run = exp.run(4.5, 4_000);
+    let run = exp.run(4.5, 4_000).expect("wafer test failed");
     let edge_dies = run
         .sites
         .iter()
@@ -72,8 +72,14 @@ fn main() {
     let exp4 = WaferExperiment::published(CoreDesign::FlexiCore4);
     let exp8 = WaferExperiment::published(CoreDesign::FlexiCore8);
     for v in [2.5, 3.0, 3.5, 4.0, 4.5] {
-        let y4 = exp4.run(v, 2_000).yield_inclusion();
-        let y8 = exp8.run(v, 2_000).yield_inclusion();
+        let y4 = exp4
+            .run(v, 2_000)
+            .expect("wafer test failed")
+            .yield_inclusion();
+        let y8 = exp8
+            .run(v, 2_000)
+            .expect("wafer test failed")
+            .yield_inclusion();
         println!("{v:>6} {:>11.0}% {:>11.0}%", y4 * 100.0, y8 * 100.0);
     }
     println!("(the FlexiCore8 cliff between 3.5 V and 3 V is its doubled adder path)");
@@ -81,8 +87,9 @@ fn main() {
     flexbench::header("Ablation 4 — test-vector volume vs measured yield");
     println!("{:>9} {:>12} {:>10}", "vectors", "yield incl", "coverage");
     for cycles in [250u64, 1_000, 4_000, 16_000] {
-        let run = exp4.run(4.5, cycles);
-        let coverage = fault_coverage(&netlist, TestPlan::quick(cycles));
+        let run = exp4.run(4.5, cycles).expect("wafer test failed");
+        let coverage =
+            fault_coverage(&netlist, TestPlan::quick(cycles)).expect("netlist validation failed");
         println!(
             "{:>9} {:>11.0}% {:>9.1}%",
             cycles,

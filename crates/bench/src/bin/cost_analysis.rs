@@ -8,6 +8,7 @@ fn main() {
     flexbench::header("§1/§4.1 — cost per good die vs yield (200 mm foil)");
     let measured_yield = WaferExperiment::published(CoreDesign::FlexiCore4)
         .run(4.5, 10_000)
+        .expect("wafer test failed")
         .yield_inclusion();
     println!(
         "{:>12} {:>10} {:>16} {:>16}",

@@ -10,7 +10,7 @@ fn main() {
     for design in [CoreDesign::FlexiCore4, CoreDesign::FlexiCore8] {
         let exp = WaferExperiment::published(design);
         for v in [3.0, 4.5] {
-            let run = exp.run(v, 20_000);
+            let run = exp.run(v, 20_000).expect("wafer test failed");
             flexbench::header(&format!(
                 "Figure 6 — {} at {v} V (yield: full {:.0}%, inclusion {:.0}%)",
                 design.name(),

@@ -12,7 +12,7 @@ fn main() {
     ] {
         let exp = WaferExperiment::new(design, seeds::CURRENT);
         for v in [3.0, 4.5] {
-            let run = exp.run(v, 5_000);
+            let run = exp.run(v, 5_000).expect("wafer test failed");
             let stats = run.current_stats();
             flexbench::header(&format!(
                 "Figure 7 — {} current draw at {v} V",

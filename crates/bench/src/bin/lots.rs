@@ -16,7 +16,7 @@ fn main() {
         CoreDesign::FlexiCore8,
         CoreDesign::FlexiCore4Plus,
     ] {
-        let lot = Lot::fabricate(design, 6, 0x1075, 4.5, 5_000);
+        let lot = Lot::fabricate(design, 6, 0x1075, 4.5, 5_000).expect("lot fabrication failed");
         let s = lot.stats();
         let c = lot.current_stats();
         println!(

@@ -65,7 +65,7 @@ fn main() {
             .critical_path_units;
         let m = DelayModel::igzo();
         let exp = WaferExperiment::published(design);
-        let run = exp.run(4.5, 20_000);
+        let run = exp.run(4.5, 20_000).expect("wafer test failed");
         let yield_ours = run.yield_inclusion() * 100.0;
         let power_ours = run.current_stats().mean_ma * 4.5;
         println!(

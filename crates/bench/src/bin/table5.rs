@@ -21,7 +21,7 @@ fn main() {
     for &(design, full, inc) in PAPER {
         let exp = WaferExperiment::published(design);
         for (v, p_full, p_inc) in [(3.0, full.0, inc.0), (4.5, full.1, inc.1)] {
-            let run = exp.run(v, 50_000);
+            let run = exp.run(v, 50_000).expect("wafer test failed");
             println!(
                 "{:<12} {:>6} {:>17} {:>22}",
                 design.name(),

@@ -22,6 +22,7 @@
 //! | `fig12` | area vs code-size scatter |
 //! | `fig13` | relative energy under both bus widths |
 //! | `dse_summary` | the §6.3 headline numbers |
+//! | `resilience` | fault-injection campaigns + partial-yield Table 5 extension |
 //!
 //! Criterion microbenchmarks for the substrate itself (netlist
 //! simulation, assembly, kernel execution) live under `benches/`.

@@ -1,0 +1,13 @@
+//! The `flexicore` binary: the same toolbox as `flexi`, under the
+//! paper's project name. See [`flexcli`] for the command set.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match flexcli::dispatch(&argv) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("flexicore: {e}");
+            std::process::exit(1);
+        }
+    }
+}

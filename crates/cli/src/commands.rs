@@ -25,6 +25,8 @@ commands:
   wave    <file.s> [--target fc4|fc8] [--input N] [--cycles N] [--out trace.vcd]
   wafer   [--design fc4|fc8|fc4plus] [--voltage V] [--seed N] [--cycles N]
           [--map errors|current|csv]
+  inject  [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N] [--seed N]
+          [--budget N] [--mode stuck|transient|mixed]
   dse
   help
 
@@ -293,7 +295,9 @@ pub fn wafer(args: &mut Args) -> Result<String, CliError> {
     let map = args.flag("map").unwrap_or_else(|| "errors".to_string());
 
     let exp = WaferExperiment::new(design, seed);
-    let run = exp.run(voltage, cycles);
+    let run = exp
+        .run(voltage, cycles)
+        .map_err(|e| CliError::Run(e.to_string()))?;
     let mut out = format!(
         "{} wafer, seed {seed:#x}, {} dies, tested at {voltage} V with {} vectors/die\n",
         design.name(),
@@ -320,6 +324,50 @@ pub fn wafer(args: &mut Args) -> Result<String, CliError> {
         stats.rsd * 100.0,
     );
     Ok(out)
+}
+
+/// `flexi inject` — run a deterministic fault-injection campaign
+/// against one kernel on one dialect and print the classification
+/// table (Masked / SDC / Crash / Hang) plus the per-element
+/// vulnerability ranking.
+///
+/// # Errors
+///
+/// Usage errors, or [`CliError::Run`] if the campaign itself fails
+/// (the kernel does not assemble or the clean reference run fails).
+pub fn inject(args: &mut Args) -> Result<String, CliError> {
+    use flexinject::{CampaignConfig, FaultModel};
+
+    let dialect = args.flag("dialect").unwrap_or_else(|| "fc4".to_string());
+    let target = flexinject::target_from_name(&dialect).ok_or_else(|| {
+        CliError::Usage(format!("unknown dialect `{dialect}` (fc4, fc8, xacc, xls)"))
+    })?;
+    let kernel_name = args.flag("kernel").unwrap_or_else(|| "parity".to_string());
+    let kernel = flexinject::kernel_from_name(&kernel_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown kernel `{kernel_name}`; run `flexi kernels` for the list"
+        ))
+    })?;
+    if !kernel.supports(target.dialect) {
+        return Err(CliError::Usage(format!(
+            "kernel `{}` does not fit the {} dialect (§3.3 capacity trade-off)",
+            kernel.name(),
+            target.dialect,
+        )));
+    }
+    let trials = args.num("faults", 32usize)?;
+    let seed = args.num("seed", 0xF417u64)?;
+    let budget = args.num("budget", flexkernels::harness::CYCLE_BUDGET)?;
+    let mode = args.flag("mode").unwrap_or_else(|| "stuck".to_string());
+    let model = FaultModel::from_name(&mode).ok_or_else(|| {
+        CliError::Usage(format!("unknown mode `{mode}` (stuck, transient, mixed)"))
+    })?;
+
+    let mut config = CampaignConfig::new(target, kernel, trials, seed);
+    config.budget = budget;
+    config.model = model;
+    let result = flexinject::run_campaign(config).map_err(|e| CliError::Run(e.to_string()))?;
+    Ok(flexinject::report::render_campaign(&result))
 }
 
 /// `flexi dse` — print the §6 summary.
@@ -483,6 +531,33 @@ mod tests {
         let out = call(&["wafer", "--cycles", "300"]).unwrap();
         assert!(out.contains("yield:"), "{out}");
         assert!(out.contains('.'), "{out}");
+    }
+
+    #[test]
+    fn inject_prints_a_deterministic_classification_table() {
+        let argv = &[
+            "inject",
+            "--dialect",
+            "fc8",
+            "--kernel",
+            "parity",
+            "--faults",
+            "8",
+            "--seed",
+            "41",
+        ];
+        let a = call(argv).unwrap();
+        let b = call(argv).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("seed 41"), "{a}");
+        assert!(a.contains("masked"), "{a}");
+        assert!(a.contains("most vulnerable"), "{a}");
+    }
+
+    #[test]
+    fn inject_rejects_unsupported_fc8_kernels() {
+        let err = call(&["inject", "--dialect", "fc8", "--kernel", "fir"]).unwrap_err();
+        assert!(err.to_string().contains("does not fit"), "{err}");
     }
 
     #[test]

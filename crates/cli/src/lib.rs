@@ -16,6 +16,8 @@
 //! flexi kernel  <name> --input 1,2,.. [--target T]
 //! flexi wafer   [--design fc4|fc8|fc4plus] [--voltage V] [--seed N]
 //!               [--cycles N] [--map errors|current|csv]
+//! flexi inject  [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N]
+//!               [--seed N] [--budget N] [--mode stuck|transient|mixed]
 //! flexi dse
 //! ```
 //!
@@ -51,6 +53,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "kernels" => commands::kernels(&mut args)?,
         "kernel" => commands::kernel(&mut args)?,
         "wafer" => commands::wafer(&mut args)?,
+        "inject" => commands::inject(&mut args)?,
         "dse" => commands::dse(&mut args)?,
         "help" | "--help" | "-h" => commands::usage(),
         other => {

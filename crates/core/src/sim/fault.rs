@@ -1,0 +1,394 @@
+//! Architectural fault injection.
+//!
+//! The wafer model in `flexfab` injects stuck-at faults at the *gate*
+//! level; this module lets the same class of defect be observed at the
+//! *architecture* level — which faulty dies still run which programs —
+//! by corrupting the architectural state the paper's §4.1 tester can
+//! observe: program counter, accumulator, data memory / register file,
+//! the instruction fetch bus, and the two IO ports.
+//!
+//! Every simulator exposes `step_with`/`run_with` variants taking a
+//! [`FaultHook`]. The plain `step`/`run` entry points pass [`NoFaults`],
+//! whose hooks are empty `#[inline]` bodies and whose
+//! [`ACTIVE`](FaultHook::ACTIVE) constant is `false`, so after
+//! monomorphization the fault-free path compiles to exactly the code it
+//! was before the hook existed.
+//!
+//! [`FaultPlane`] is the standard implementation: a set of
+//! [`ArchFault`]s, each a permanent stuck-at or a one-shot transient
+//! bit flip on one bit of one state element.
+
+use core::fmt;
+
+/// One architectural state element a fault can land on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StateElement {
+    /// The program counter (7 bits, in-page).
+    Pc,
+    /// The accumulator (absent on the load-store dialect).
+    Acc,
+    /// A data-memory word (accumulator dialects) or register
+    /// (load-store dialect), by index.
+    Mem(u8),
+    /// The instruction fetch bus: every fetched byte passes through it,
+    /// so a stuck bus bit corrupts every beat of every fetch.
+    FetchBus,
+    /// The input bus, as sampled by IPORT reads.
+    InputPort,
+    /// The output bus, as driven by OPORT writes (the MMU snoops the
+    /// corrupted value, exactly as the external board would).
+    OutputPort,
+}
+
+impl fmt::Display for StateElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateElement::Pc => write!(f, "pc"),
+            StateElement::Acc => write!(f, "acc"),
+            StateElement::Mem(i) => write!(f, "mem[{i}]"),
+            StateElement::FetchBus => write!(f, "fetch"),
+            StateElement::InputPort => write!(f, "iport"),
+            StateElement::OutputPort => write!(f, "oport"),
+        }
+    }
+}
+
+/// How a fault corrupts its bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Permanent stuck-at-0 (open defect).
+    StuckAt0,
+    /// Permanent stuck-at-1 (short defect).
+    StuckAt1,
+    /// Transient single-event upset: the bit is inverted once, at the
+    /// first opportunity on or after the given cycle.
+    FlipAtCycle(u64),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckAt0 => write!(f, "sa0"),
+            FaultKind::StuckAt1 => write!(f, "sa1"),
+            FaultKind::FlipAtCycle(c) => write!(f, "flip@{c}"),
+        }
+    }
+}
+
+/// One architectural fault: a [`FaultKind`] on one bit of one
+/// [`StateElement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchFault {
+    /// Where the fault lands.
+    pub element: StateElement,
+    /// Which bit (must be inside the element's width for the dialect;
+    /// site enumeration in `flexinject` guarantees this).
+    pub bit: u8,
+    /// Stuck-at or transient flip.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for ArchFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} {}", self.element, self.bit, self.kind)
+    }
+}
+
+/// A mutable view of a core's architectural state, handed to
+/// [`FaultHook::on_state`] after every retired instruction (and once
+/// before the first, from `run_with`).
+#[derive(Debug)]
+pub struct ArchState<'a> {
+    /// Program counter (7 bits; hooks must keep it within `0x7F`).
+    pub pc: &'a mut u8,
+    /// Accumulator, when the dialect has one.
+    pub acc: Option<&'a mut u8>,
+    /// Data-memory words or registers.
+    pub mem: &'a mut [u8],
+    /// The datapath width mask (`0xF` for 4-bit cores, `0xFF` for
+    /// FlexiCore8); hooks must not set bits outside it.
+    pub data_mask: u8,
+}
+
+/// Observation/corruption points threaded through every simulator step.
+///
+/// All hooks default to the identity, so an implementation only
+/// overrides the points it cares about.
+pub trait FaultHook {
+    /// `false` promises the hook never changes anything, letting the
+    /// simulators skip fault plumbing entirely at compile time.
+    const ACTIVE: bool = true;
+
+    /// Corrupt one byte crossing the instruction fetch bus.
+    #[inline]
+    fn on_fetch(&mut self, cycle: u64, byte: u8) -> u8 {
+        let _ = cycle;
+        byte
+    }
+
+    /// Corrupt a value sampled from the input bus (already masked to
+    /// the datapath width).
+    #[inline]
+    fn on_input(&mut self, cycle: u64, value: u8) -> u8 {
+        let _ = cycle;
+        value
+    }
+
+    /// Corrupt a value driven on the output bus.
+    #[inline]
+    fn on_output(&mut self, cycle: u64, value: u8) -> u8 {
+        let _ = cycle;
+        value
+    }
+
+    /// Corrupt committed architectural state after an instruction
+    /// retires.
+    #[inline]
+    fn on_state(&mut self, cycle: u64, state: &mut ArchState<'_>) {
+        let _ = (cycle, state);
+    }
+}
+
+/// The fault-free hook: every point is the identity and
+/// [`ACTIVE`](FaultHook::ACTIVE) is `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    const ACTIVE: bool = false;
+}
+
+/// A concrete set of [`ArchFault`]s implementing [`FaultHook`].
+///
+/// Stuck-at faults reassert on every hook visit; transient flips fire
+/// exactly once per [`reset`](FaultPlane::reset). An empty plane is
+/// behaviourally identical to [`NoFaults`] (enforced by the
+/// `fault_free_plane_is_transparent` property test) but does not get
+/// the compile-time fast path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlane {
+    faults: Vec<ArchFault>,
+    fired: Vec<bool>,
+}
+
+impl FaultPlane {
+    /// A plane with no faults (transparent).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlane::default()
+    }
+
+    /// A plane carrying `faults`.
+    #[must_use]
+    pub fn with_faults(faults: Vec<ArchFault>) -> Self {
+        let fired = vec![false; faults.len()];
+        FaultPlane { faults, fired }
+    }
+
+    /// Add one fault.
+    pub fn add(&mut self, fault: ArchFault) {
+        self.faults.push(fault);
+        self.fired.push(false);
+    }
+
+    /// The faults carried.
+    #[must_use]
+    pub fn faults(&self) -> &[ArchFault] {
+        &self.faults
+    }
+
+    /// `true` if the plane carries no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Re-arm transient flips (for re-running the same plane).
+    pub fn reset(&mut self) {
+        for f in &mut self.fired {
+            *f = false;
+        }
+    }
+
+    /// Apply every fault targeting `element` to `value` at `cycle`.
+    #[inline]
+    fn corrupt(&mut self, element: StateElement, cycle: u64, mut value: u8) -> u8 {
+        for (fault, fired) in self.faults.iter().zip(&mut self.fired) {
+            if fault.element != element {
+                continue;
+            }
+            let mask = 1u8 << fault.bit;
+            match fault.kind {
+                FaultKind::StuckAt0 => value &= !mask,
+                FaultKind::StuckAt1 => value |= mask,
+                FaultKind::FlipAtCycle(at) => {
+                    if cycle >= at && !*fired {
+                        value ^= mask;
+                        *fired = true;
+                    }
+                }
+            }
+        }
+        value
+    }
+}
+
+impl FaultHook for FaultPlane {
+    #[inline]
+    fn on_fetch(&mut self, cycle: u64, byte: u8) -> u8 {
+        self.corrupt(StateElement::FetchBus, cycle, byte)
+    }
+
+    #[inline]
+    fn on_input(&mut self, cycle: u64, value: u8) -> u8 {
+        self.corrupt(StateElement::InputPort, cycle, value)
+    }
+
+    #[inline]
+    fn on_output(&mut self, cycle: u64, value: u8) -> u8 {
+        self.corrupt(StateElement::OutputPort, cycle, value)
+    }
+
+    fn on_state(&mut self, cycle: u64, state: &mut ArchState<'_>) {
+        for (fault, fired) in self.faults.iter().zip(&mut self.fired) {
+            let mask = 1u8 << fault.bit;
+            let (slot, width_mask) = match fault.element {
+                StateElement::Pc => (Some(&mut *state.pc), 0x7Fu8),
+                StateElement::Acc => match state.acc.as_deref_mut() {
+                    Some(acc) => (Some(acc), state.data_mask),
+                    None => (None, 0),
+                },
+                StateElement::Mem(i) => (state.mem.get_mut(usize::from(i)), state.data_mask),
+                _ => (None, 0),
+            };
+            let Some(slot) = slot else { continue };
+            match fault.kind {
+                FaultKind::StuckAt0 => *slot &= !mask,
+                FaultKind::StuckAt1 => *slot |= mask & width_mask,
+                FaultKind::FlipAtCycle(at) => {
+                    if cycle >= at && !*fired {
+                        *slot ^= mask & width_mask;
+                        *fired = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_of<'a>(pc: &'a mut u8, acc: &'a mut u8, mem: &'a mut [u8]) -> ArchState<'a> {
+        ArchState {
+            pc,
+            acc: Some(acc),
+            mem,
+            data_mask: 0xF,
+        }
+    }
+
+    #[test]
+    fn empty_plane_is_identity() {
+        let mut p = FaultPlane::new();
+        assert!(p.is_empty());
+        assert_eq!(p.on_fetch(3, 0xAB), 0xAB);
+        assert_eq!(p.on_input(3, 0x5), 0x5);
+        assert_eq!(p.on_output(3, 0x5), 0x5);
+        let (mut pc, mut acc, mut mem) = (5u8, 9u8, [1u8, 2, 3]);
+        p.on_state(3, &mut state_of(&mut pc, &mut acc, &mut mem));
+        assert_eq!((pc, acc, mem), (5, 9, [1, 2, 3]));
+    }
+
+    #[test]
+    fn stuck_bits_reassert_every_visit() {
+        let mut p = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::Acc,
+            bit: 3,
+            kind: FaultKind::StuckAt1,
+        }]);
+        let (mut pc, mut acc, mut mem) = (0u8, 0u8, [0u8; 4]);
+        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem));
+        assert_eq!(acc, 0x8);
+        acc = 0x2;
+        p.on_state(1, &mut state_of(&mut pc, &mut acc, &mut mem));
+        assert_eq!(acc, 0xA);
+    }
+
+    #[test]
+    fn flip_fires_once_on_or_after_cycle() {
+        let mut p = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::FetchBus,
+            bit: 0,
+            kind: FaultKind::FlipAtCycle(5),
+        }]);
+        assert_eq!(p.on_fetch(4, 0x10), 0x10, "before the trigger cycle");
+        assert_eq!(p.on_fetch(7, 0x10), 0x11, "first visit at/after fires");
+        assert_eq!(p.on_fetch(8, 0x10), 0x10, "one-shot");
+        p.reset();
+        assert_eq!(p.on_fetch(9, 0x10), 0x11, "re-armed by reset");
+    }
+
+    #[test]
+    fn stuck_mem_word_masks_only_its_index() {
+        let mut p = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::Mem(2),
+            bit: 1,
+            kind: FaultKind::StuckAt0,
+        }]);
+        let (mut pc, mut acc) = (0u8, 0u8);
+        let mut mem = [0xFu8; 4];
+        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem));
+        assert_eq!(mem, [0xF, 0xF, 0xD, 0xF]);
+    }
+
+    #[test]
+    fn acc_fault_is_inert_on_accumulatorless_state() {
+        let mut p = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::Acc,
+            bit: 0,
+            kind: FaultKind::StuckAt1,
+        }]);
+        let mut pc = 0u8;
+        let mut regs = [0u8; 8];
+        let mut state = ArchState {
+            pc: &mut pc,
+            acc: None,
+            mem: &mut regs,
+            data_mask: 0xF,
+        };
+        p.on_state(0, &mut state);
+        assert_eq!(regs, [0u8; 8]);
+        assert_eq!(pc, 0);
+    }
+
+    #[test]
+    fn out_of_range_mem_index_is_ignored() {
+        let mut p = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::Mem(7),
+            bit: 0,
+            kind: FaultKind::StuckAt1,
+        }]);
+        let (mut pc, mut acc) = (0u8, 0u8);
+        let mut mem = [0u8; 4]; // fc8 has only four words
+        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem));
+        assert_eq!(mem, [0u8; 4]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let f = ArchFault {
+            element: StateElement::Mem(3),
+            bit: 2,
+            kind: FaultKind::StuckAt1,
+        };
+        assert_eq!(f.to_string(), "mem[3].2 sa1");
+        let f = ArchFault {
+            element: StateElement::Pc,
+            bit: 6,
+            kind: FaultKind::FlipAtCycle(42),
+        };
+        assert_eq!(f.to_string(), "pc.6 flip@42");
+    }
+}

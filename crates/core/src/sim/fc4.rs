@@ -11,6 +11,7 @@ use crate::io::{InputPort, OutputPort};
 use crate::isa::fc4::{Instruction, IPORT_ADDR, MEM_WORDS, OPORT_ADDR};
 use crate::mmu::Mmu;
 use crate::program::Program;
+use crate::sim::fault::{ArchState, FaultHook, NoFaults};
 use crate::sim::{RunResult, StopReason};
 use crate::trace::StepEvent;
 
@@ -122,9 +123,19 @@ impl Fc4Core {
         &self.program
     }
 
-    fn read_operand<I: InputPort>(&mut self, addr: u8, input: &mut I) -> u8 {
+    fn read_operand<I: InputPort, F: FaultHook>(
+        &mut self,
+        addr: u8,
+        input: &mut I,
+        faults: &mut F,
+    ) -> u8 {
         if addr == IPORT_ADDR {
-            input.read(self.cycle) & WIDTH_MASK
+            let v = input.read(self.cycle) & WIDTH_MASK;
+            if F::ACTIVE {
+                faults.on_input(self.cycle, v) & WIDTH_MASK
+            } else {
+                v
+            }
         } else {
             self.mem[usize::from(addr & 0x7)]
         }
@@ -142,15 +153,38 @@ impl Fc4Core {
         I: InputPort,
         O: OutputPort,
     {
+        self.step_with(input, output, &mut NoFaults)
+    }
+
+    /// [`step`](Fc4Core::step) with a fault-injection hook.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Fc4Core::step`]; a corrupted fetch may surface
+    /// as [`SimError::IllegalInstruction`].
+    pub fn step_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        faults: &mut F,
+    ) -> Result<StepEvent, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
         self.mmu.tick();
         let address = self.mmu.extend(self.pc);
-        let byte = self
+        let mut byte = self
             .program
             .fetch(address)
             .ok_or(SimError::FetchOutOfBounds {
                 address,
                 program_len: self.program.len(),
             })?;
+        if F::ACTIVE {
+            byte = faults.on_fetch(self.cycle, byte);
+        }
         let insn = Instruction::decode(byte).map_err(|_| SimError::IllegalInstruction {
             raw: byte.into(),
             address,
@@ -171,27 +205,32 @@ impl Fc4Core {
                 self.acc = (self.acc ^ imm) & WIDTH_MASK;
             }
             Instruction::AddMem { src } => {
-                let v = self.read_operand(src, input);
+                let v = self.read_operand(src, input, faults);
                 self.acc = self.acc.wrapping_add(v) & WIDTH_MASK;
             }
             Instruction::NandMem { src } => {
-                let v = self.read_operand(src, input);
+                let v = self.read_operand(src, input, faults);
                 self.acc = !(self.acc & v) & WIDTH_MASK;
             }
             Instruction::XorMem { src } => {
-                let v = self.read_operand(src, input);
+                let v = self.read_operand(src, input, faults);
                 self.acc = (self.acc ^ v) & WIDTH_MASK;
             }
             Instruction::Load { addr } => {
-                self.acc = self.read_operand(addr, input);
+                self.acc = self.read_operand(addr, input, faults);
             }
             Instruction::Store { addr } => {
                 if addr != IPORT_ADDR {
                     self.mem[usize::from(addr & 0x7)] = self.acc;
                 }
                 if addr == OPORT_ADDR {
-                    output.write(self.cycle, self.acc);
-                    self.mmu.observe(self.acc);
+                    let driven = if F::ACTIVE {
+                        faults.on_output(self.cycle, self.acc) & WIDTH_MASK
+                    } else {
+                        self.acc
+                    };
+                    output.write(self.cycle, driven);
+                    self.mmu.observe(driven);
                 }
             }
             Instruction::Branch { target } => {
@@ -211,11 +250,22 @@ impl Fc4Core {
         if taken {
             self.taken_branches += 1;
         }
+        if F::ACTIVE {
+            faults.on_state(
+                self.cycle,
+                &mut ArchState {
+                    pc: &mut self.pc,
+                    acc: Some(&mut self.acc),
+                    mem: &mut self.mem,
+                    data_mask: WIDTH_MASK,
+                },
+            );
+        }
 
         Ok(StepEvent {
             cycle: start_cycle,
             address,
-            next_pc,
+            next_pc: self.pc,
             acc: self.acc,
             cycles: 1,
             taken_branch: taken,
@@ -238,8 +288,41 @@ impl Fc4Core {
         I: InputPort,
         O: OutputPort,
     {
+        self.run_with(input, output, max_cycles, &mut NoFaults)
+    }
+
+    /// [`run`](Fc4Core::run) with a fault-injection hook. State faults
+    /// are applied once before the first fetch (a stuck power-on bit)
+    /// and after every retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Fc4Core::step_with`].
+    pub fn run_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        max_cycles: u64,
+        faults: &mut F,
+    ) -> Result<RunResult, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
+        if F::ACTIVE {
+            faults.on_state(
+                self.cycle,
+                &mut ArchState {
+                    pc: &mut self.pc,
+                    acc: Some(&mut self.acc),
+                    mem: &mut self.mem,
+                    data_mask: WIDTH_MASK,
+                },
+            );
+        }
         while !self.halted && self.cycle < max_cycles {
-            self.step(input, output)?;
+            self.step_with(input, output, faults)?;
         }
         Ok(RunResult {
             cycles: self.cycle,

@@ -12,6 +12,7 @@ use crate::isa::fc8::{Instruction, IPORT_ADDR, MEM_WORDS, OPORT_ADDR};
 use crate::isa::sign_extend;
 use crate::mmu::Mmu;
 use crate::program::Program;
+use crate::sim::fault::{ArchState, FaultHook, NoFaults};
 use crate::sim::{RunResult, StopReason};
 use crate::trace::StepEvent;
 
@@ -112,9 +113,19 @@ impl Fc8Core {
         &self.program
     }
 
-    fn read_operand<I: InputPort>(&mut self, addr: u8, input: &mut I) -> u8 {
+    fn read_operand<I: InputPort, F: FaultHook>(
+        &mut self,
+        addr: u8,
+        input: &mut I,
+        faults: &mut F,
+    ) -> u8 {
         if addr == IPORT_ADDR {
-            input.read(self.cycle)
+            let v = input.read(self.cycle);
+            if F::ACTIVE {
+                faults.on_input(self.cycle, v)
+            } else {
+                v
+            }
         } else {
             self.mem[usize::from(addr & 0x3)]
         }
@@ -133,6 +144,25 @@ impl Fc8Core {
         I: InputPort,
         O: OutputPort,
     {
+        self.step_with(input, output, &mut NoFaults)
+    }
+
+    /// [`step`](Fc8Core::step) with a fault-injection hook.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fc8Core::step`].
+    pub fn step_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        faults: &mut F,
+    ) -> Result<StepEvent, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
         self.mmu.tick();
         let address = self.mmu.extend(self.pc);
         let window = self.program.window(address);
@@ -142,6 +172,16 @@ impl Fc8Core {
                 program_len: self.program.len(),
             });
         }
+        let mut fetch_buf = [0u8; 2];
+        let window: &[u8] = if F::ACTIVE {
+            let n = window.len().min(2);
+            for (i, b) in window[..n].iter().enumerate() {
+                fetch_buf[i] = faults.on_fetch(self.cycle + i as u64, *b);
+            }
+            &fetch_buf[..n]
+        } else {
+            window
+        };
         let (insn, len) = Instruction::decode(window).map_err(|e| match e {
             crate::error::DecodeError::NeedsSecondByte { .. } => {
                 SimError::TruncatedInstruction { address }
@@ -166,27 +206,32 @@ impl Fc8Core {
                 self.acc ^= sign_extend(imm, 4) as u8;
             }
             Instruction::AddMem { src } => {
-                let v = self.read_operand(src, input);
+                let v = self.read_operand(src, input, faults);
                 self.acc = self.acc.wrapping_add(v);
             }
             Instruction::NandMem { src } => {
-                let v = self.read_operand(src, input);
+                let v = self.read_operand(src, input, faults);
                 self.acc = !(self.acc & v);
             }
             Instruction::XorMem { src } => {
-                let v = self.read_operand(src, input);
+                let v = self.read_operand(src, input, faults);
                 self.acc ^= v;
             }
             Instruction::Load { addr } => {
-                self.acc = self.read_operand(addr, input);
+                self.acc = self.read_operand(addr, input, faults);
             }
             Instruction::Store { addr } => {
                 if addr != IPORT_ADDR {
                     self.mem[usize::from(addr & 0x3)] = self.acc;
                 }
                 if addr == OPORT_ADDR {
-                    output.write(self.cycle, self.acc);
-                    self.mmu.observe(self.acc);
+                    let driven = if F::ACTIVE {
+                        faults.on_output(self.cycle, self.acc)
+                    } else {
+                        self.acc
+                    };
+                    output.write(self.cycle, driven);
+                    self.mmu.observe(driven);
                 }
             }
             Instruction::LoadByte { imm } => {
@@ -209,11 +254,22 @@ impl Fc8Core {
         if taken {
             self.taken_branches += 1;
         }
+        if F::ACTIVE {
+            faults.on_state(
+                self.cycle,
+                &mut ArchState {
+                    pc: &mut self.pc,
+                    acc: Some(&mut self.acc),
+                    mem: &mut self.mem,
+                    data_mask: 0xFF,
+                },
+            );
+        }
 
         Ok(StepEvent {
             cycle: start_cycle,
             address,
-            next_pc,
+            next_pc: self.pc,
             acc: self.acc,
             cycles: len as u64,
             taken_branch: taken,
@@ -236,8 +292,41 @@ impl Fc8Core {
         I: InputPort,
         O: OutputPort,
     {
+        self.run_with(input, output, max_cycles, &mut NoFaults)
+    }
+
+    /// [`run`](Fc8Core::run) with a fault-injection hook. State faults
+    /// are applied once before the first fetch (a stuck power-on bit)
+    /// and after every retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Fc8Core::step_with`].
+    pub fn run_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        max_cycles: u64,
+        faults: &mut F,
+    ) -> Result<RunResult, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
+        if F::ACTIVE {
+            faults.on_state(
+                self.cycle,
+                &mut ArchState {
+                    pc: &mut self.pc,
+                    acc: Some(&mut self.acc),
+                    mem: &mut self.mem,
+                    data_mask: 0xFF,
+                },
+            );
+        }
         while !self.halted && self.cycle < max_cycles {
-            self.step(input, output)?;
+            self.step_with(input, output, faults)?;
         }
         Ok(RunResult {
             cycles: self.cycle,

@@ -13,10 +13,13 @@
 //!
 //! [`Program`]: crate::program::Program
 
+pub mod fault;
 pub mod fc4;
 pub mod fc8;
 pub mod xacc;
 pub mod xls;
+
+pub use fault::{ArchFault, ArchState, FaultHook, FaultKind, FaultPlane, NoFaults, StateElement};
 
 /// Why a `run` call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

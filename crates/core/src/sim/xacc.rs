@@ -24,6 +24,7 @@ use crate::isa::sign_extend;
 use crate::isa::xacc::{Instruction, IPORT_ADDR, OPORT_ADDR};
 use crate::mmu::Mmu;
 use crate::program::Program;
+use crate::sim::fault::{ArchState, FaultHook, NoFaults};
 use crate::sim::{RunResult, StopReason};
 use crate::trace::StepEvent;
 
@@ -124,21 +125,42 @@ impl XaccCore {
         self.instructions
     }
 
-    fn read_operand<I: InputPort>(&mut self, addr: u8, input: &mut I) -> u8 {
+    fn read_operand<I: InputPort, F: FaultHook>(
+        &mut self,
+        addr: u8,
+        input: &mut I,
+        faults: &mut F,
+    ) -> u8 {
         if addr == IPORT_ADDR {
-            input.read(self.cycle) & WIDTH_MASK
+            let v = input.read(self.cycle) & WIDTH_MASK;
+            if F::ACTIVE {
+                faults.on_input(self.cycle, v) & WIDTH_MASK
+            } else {
+                v
+            }
         } else {
             self.mem[usize::from(addr & 0x7)]
         }
     }
 
-    fn write_mem<O: OutputPort>(&mut self, addr: u8, value: u8, output: &mut O) {
+    fn write_mem<O: OutputPort, F: FaultHook>(
+        &mut self,
+        addr: u8,
+        value: u8,
+        output: &mut O,
+        faults: &mut F,
+    ) {
         if addr != IPORT_ADDR {
             self.mem[usize::from(addr & 0x7)] = value;
         }
         if addr == OPORT_ADDR {
-            output.write(self.cycle, value);
-            self.mmu.observe(value);
+            let driven = if F::ACTIVE {
+                faults.on_output(self.cycle, value) & WIDTH_MASK
+            } else {
+                value
+            };
+            output.write(self.cycle, driven);
+            self.mmu.observe(driven);
         }
     }
 
@@ -169,6 +191,25 @@ impl XaccCore {
         I: InputPort,
         O: OutputPort,
     {
+        self.step_with(input, output, &mut NoFaults)
+    }
+
+    /// [`step`](XaccCore::step) with a fault-injection hook.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`XaccCore::step`].
+    pub fn step_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        faults: &mut F,
+    ) -> Result<StepEvent, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
         self.mmu.tick();
         let address = self.mmu.extend(self.pc);
         let window = self.program.window(address);
@@ -178,6 +219,16 @@ impl XaccCore {
                 program_len: self.program.len(),
             });
         }
+        let mut fetch_buf = [0u8; 2];
+        let window: &[u8] = if F::ACTIVE {
+            let n = window.len().min(2);
+            for (i, b) in window[..n].iter().enumerate() {
+                fetch_buf[i] = faults.on_fetch(self.cycle + i as u64, *b);
+            }
+            &fetch_buf[..n]
+        } else {
+            window
+        };
         let (insn, len) = Instruction::decode(window).map_err(|e| match e {
             crate::error::DecodeError::NeedsSecondByte { .. } => {
                 SimError::TruncatedInstruction { address }
@@ -199,47 +250,47 @@ impl XaccCore {
 
         match insn {
             Instruction::Add { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 self.add_with(v, 0);
             }
             Instruction::Adc { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 let c = u8::from(self.carry);
                 self.add_with(v, c);
             }
             Instruction::Sub { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 self.sub_with(v, 0);
             }
             Instruction::Swb { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 let b = u8::from(!self.carry);
                 self.sub_with(v, b);
             }
             Instruction::Nand { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 self.acc = !(self.acc & v) & WIDTH_MASK;
             }
             Instruction::Or { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 self.acc = (self.acc | v) & WIDTH_MASK;
             }
             Instruction::Xor { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 self.acc = (self.acc ^ v) & WIDTH_MASK;
             }
             Instruction::Xch { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 let old = self.acc;
                 self.acc = v;
-                self.write_mem(m, old, output);
+                self.write_mem(m, old, output, faults);
             }
             Instruction::Load { m } => {
-                self.acc = self.read_operand(m, input);
+                self.acc = self.read_operand(m, input, faults);
             }
             Instruction::Store { m } => {
                 let v = self.acc;
-                self.write_mem(m, v, output);
+                self.write_mem(m, v, output, faults);
             }
             Instruction::AddImm { imm } => {
                 let v = (sign_extend(imm, 4) as u8) & WIDTH_MASK;
@@ -297,11 +348,11 @@ impl XaccCore {
                 self.sub_with(v, 0);
             }
             Instruction::MulL { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 self.acc = (self.acc.wrapping_mul(v)) & WIDTH_MASK;
             }
             Instruction::MulH { m } => {
-                let v = self.read_operand(m, input);
+                let v = self.read_operand(m, input, faults);
                 self.acc = ((u16::from(self.acc) * u16::from(v)) >> WIDTH) as u8 & WIDTH_MASK;
             }
             Instruction::Br { cond, target } => {
@@ -337,11 +388,22 @@ impl XaccCore {
         if taken {
             self.taken_branches += 1;
         }
+        if F::ACTIVE {
+            faults.on_state(
+                self.cycle,
+                &mut ArchState {
+                    pc: &mut self.pc,
+                    acc: Some(&mut self.acc),
+                    mem: &mut self.mem,
+                    data_mask: WIDTH_MASK,
+                },
+            );
+        }
 
         Ok(StepEvent {
             cycle: start_cycle,
             address,
-            next_pc,
+            next_pc: self.pc,
             acc: self.acc,
             cycles: 1,
             taken_branch: taken,
@@ -364,8 +426,41 @@ impl XaccCore {
         I: InputPort,
         O: OutputPort,
     {
+        self.run_with(input, output, max_steps, &mut NoFaults)
+    }
+
+    /// [`run`](XaccCore::run) with a fault-injection hook. State faults
+    /// are applied once before the first fetch (a stuck power-on bit)
+    /// and after every retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`XaccCore::step_with`].
+    pub fn run_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        max_steps: u64,
+        faults: &mut F,
+    ) -> Result<RunResult, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
+        if F::ACTIVE {
+            faults.on_state(
+                self.cycle,
+                &mut ArchState {
+                    pc: &mut self.pc,
+                    acc: Some(&mut self.acc),
+                    mem: &mut self.mem,
+                    data_mask: WIDTH_MASK,
+                },
+            );
+        }
         while !self.halted && self.instructions < max_steps {
-            self.step(input, output)?;
+            self.step_with(input, output, faults)?;
         }
         Ok(RunResult {
             cycles: self.cycle,

@@ -19,6 +19,7 @@ use crate::isa::sign_extend;
 use crate::isa::xls::{Instruction, Op, Operand, IPORT_REG, NUM_REGS, OPORT_REG};
 use crate::mmu::Mmu;
 use crate::program::Program;
+use crate::sim::fault::{ArchState, FaultHook, NoFaults};
 use crate::sim::{RunResult, StopReason};
 use crate::trace::StepEvent;
 
@@ -130,22 +131,38 @@ impl XlsCore {
         self.instructions
     }
 
-    fn read_reg<I: InputPort>(&mut self, r: u8, input: &mut I) -> u8 {
+    fn read_reg<I: InputPort, F: FaultHook>(&mut self, r: u8, input: &mut I, faults: &mut F) -> u8 {
         if r == IPORT_REG {
-            input.read(self.cycle) & WIDTH_MASK
+            let v = input.read(self.cycle) & WIDTH_MASK;
+            if F::ACTIVE {
+                faults.on_input(self.cycle, v) & WIDTH_MASK
+            } else {
+                v
+            }
         } else {
             self.regs[usize::from(r & 7)]
         }
     }
 
-    fn write_reg<O: OutputPort>(&mut self, r: u8, value: u8, output: &mut O) {
+    fn write_reg<O: OutputPort, F: FaultHook>(
+        &mut self,
+        r: u8,
+        value: u8,
+        output: &mut O,
+        faults: &mut F,
+    ) {
         let v = value & WIDTH_MASK;
         if r != IPORT_REG {
             self.regs[usize::from(r & 7)] = v;
         }
         if r == OPORT_REG {
-            output.write(self.cycle, v);
-            self.mmu.observe(v);
+            let driven = if F::ACTIVE {
+                faults.on_output(self.cycle, v) & WIDTH_MASK
+            } else {
+                v
+            };
+            output.write(self.cycle, driven);
+            self.mmu.observe(driven);
         }
     }
 
@@ -159,6 +176,25 @@ impl XlsCore {
         I: InputPort,
         O: OutputPort,
     {
+        self.step_with(input, output, &mut NoFaults)
+    }
+
+    /// [`step`](XlsCore::step) with a fault-injection hook.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`XlsCore::step`].
+    pub fn step_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        faults: &mut F,
+    ) -> Result<StepEvent, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
         self.mmu.tick();
         let address = self.mmu.extend(self.pc) * 2;
         let window = self.program.window(address);
@@ -168,6 +204,16 @@ impl XlsCore {
                 program_len: self.program.len(),
             });
         }
+        let mut fetch_buf = [0u8; 2];
+        let window: &[u8] = if F::ACTIVE {
+            let n = window.len().min(2);
+            for (i, b) in window[..n].iter().enumerate() {
+                fetch_buf[i] = faults.on_fetch(self.cycle + i as u64, *b);
+            }
+            &fetch_buf[..n]
+        } else {
+            window
+        };
         let (insn, _len) = Instruction::decode_bytes(window).map_err(|e| match e {
             crate::error::DecodeError::NeedsSecondByte { .. } => {
                 SimError::TruncatedInstruction { address }
@@ -190,13 +236,13 @@ impl XlsCore {
         match insn {
             Instruction::Alu { op, rd, operand } => {
                 let b = match operand {
-                    Operand::Reg(rs) => self.read_reg(rs, input),
+                    Operand::Reg(rs) => self.read_reg(rs, input, faults),
                     Operand::Imm(v) => (sign_extend(v, 4) as u8) & WIDTH_MASK,
                 };
-                let a = self.read_reg(rd, input);
+                let a = self.read_reg(rd, input, faults);
                 let result = self.alu(op, a, b);
                 self.flags.set_nzp(result);
-                self.write_reg(rd, result, output);
+                self.write_reg(rd, result, output, faults);
             }
             Instruction::Br { cond, target } => {
                 let f = self.flags;
@@ -237,11 +283,22 @@ impl XlsCore {
         if taken {
             self.taken_branches += 1;
         }
+        if F::ACTIVE {
+            faults.on_state(
+                self.cycle,
+                &mut ArchState {
+                    pc: &mut self.pc,
+                    acc: None,
+                    mem: &mut self.regs,
+                    data_mask: WIDTH_MASK,
+                },
+            );
+        }
 
         Ok(StepEvent {
             cycle: start_cycle,
             address,
-            next_pc,
+            next_pc: self.pc,
             acc: 0,
             cycles: 1,
             taken_branch: taken,
@@ -335,8 +392,41 @@ impl XlsCore {
         I: InputPort,
         O: OutputPort,
     {
+        self.run_with(input, output, max_steps, &mut NoFaults)
+    }
+
+    /// [`run`](XlsCore::run) with a fault-injection hook. State faults
+    /// are applied once before the first fetch (a stuck power-on bit)
+    /// and after every retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`XlsCore::step_with`].
+    pub fn run_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        max_steps: u64,
+        faults: &mut F,
+    ) -> Result<RunResult, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
+        if F::ACTIVE {
+            faults.on_state(
+                self.cycle,
+                &mut ArchState {
+                    pc: &mut self.pc,
+                    acc: None,
+                    mem: &mut self.regs,
+                    data_mask: WIDTH_MASK,
+                },
+            );
+        }
         while !self.halted && self.instructions < max_steps {
-            self.step(input, output)?;
+            self.step_with(input, output, faults)?;
         }
         Ok(RunResult {
             cycles: self.cycle,

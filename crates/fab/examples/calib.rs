@@ -8,7 +8,7 @@ fn main() {
     for design in [CoreDesign::FlexiCore4, CoreDesign::FlexiCore8] {
         let exp = WaferExperiment::published(design);
         for v in [3.0, 4.5] {
-            let run = exp.run(v, 20_000);
+            let run = exp.run(v, 20_000).expect("wafer test failed");
             println!(
                 "{:<12} {v} V: full {:>4.0}%  inclusion {:>4.0}%   I(mean) {:.2} mA rsd {:.3}",
                 design.name(),

@@ -1,0 +1,47 @@
+//! Errors from the fallible fabrication paths.
+
+use flexgate::netlist::NetlistError;
+
+/// Why fabricating or testing a design failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FabError {
+    /// The design netlist failed integrity validation (combinational
+    /// loop, multiply-driven net, …).
+    Netlist(NetlistError),
+}
+
+impl core::fmt::Display for FabError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FabError::Netlist(e) => write!(f, "design netlist is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabError::Netlist(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetlistError> for FabError {
+    fn from(e: NetlistError) -> Self {
+        FabError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains_the_cause() {
+        let e = FabError::from(NetlistError::CombinationalLoop { net: 3 });
+        assert!(e.to_string().contains("malformed"));
+        let source = std::error::Error::source(&e).expect("cause is chained");
+        assert!(source.to_string().contains("loop"));
+    }
+}

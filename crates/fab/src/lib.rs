@@ -15,9 +15,10 @@
 //! use flexfab::wafer_run::{WaferExperiment, CoreDesign};
 //!
 //! let exp = WaferExperiment::new(CoreDesign::FlexiCore4, 1);
-//! let run = exp.run(4.5, 500);
+//! let run = exp.run(4.5, 500)?;
 //! assert!(run.yield_inclusion() > 0.5, "most centre dies work");
 //! assert!(run.yield_full() < 1.0, "edge dies mostly do not");
+//! # Ok::<(), flexfab::FabError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -26,9 +27,12 @@
 pub mod calibration;
 pub mod cost;
 pub mod current;
+pub mod error;
 pub mod lots;
 pub mod tester;
 pub mod variation;
 pub mod wafer;
 pub mod wafer_run;
 pub mod wafermap;
+
+pub use error::FabError;

@@ -44,19 +44,23 @@ pub struct LotStats {
 impl Lot {
     /// Fabricate and test `wafers` wafers of `design` at `voltage`, with
     /// `vector_cycles` random test cycles per die.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// [`FabError::Netlist`](crate::FabError) if the design netlist
+    /// fails integrity validation.
     pub fn fabricate(
         design: CoreDesign,
         wafers: usize,
         seed: u64,
         voltage: f64,
         vector_cycles: u64,
-    ) -> Self {
+    ) -> Result<Self, crate::FabError> {
         let netlist = design.netlist();
         let layout = WaferLayout::new();
         let area = Report::of(&netlist).total.area_mm2();
         let nominal_ma = Report::of(&netlist).total.static_current_ma(4.5);
-        let tester = Tester::new(&netlist, TestPlan::quick(vector_cycles));
+        let tester = Tester::new(&netlist, TestPlan::quick(vector_cycles))?;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x107);
 
         let mut runs = Vec::with_capacity(wafers);
@@ -80,7 +84,7 @@ impl Lot {
                 voltage,
             });
         }
-        Lot { design, runs }
+        Ok(Lot { design, runs })
     }
 
     /// The design fabricated.
@@ -148,7 +152,7 @@ mod tests {
 
     #[test]
     fn lot_of_four_wafers_yields_in_band() {
-        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 4, 11, 4.5, 800);
+        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 4, 11, 4.5, 800).unwrap();
         let s = lot.stats();
         assert_eq!(lot.runs().len(), 4);
         assert!(s.total_dies > 400);
@@ -158,7 +162,7 @@ mod tests {
 
     #[test]
     fn wafer_to_wafer_spread_is_visible() {
-        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 6, 5, 4.5, 500);
+        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 6, 5, 4.5, 500).unwrap();
         let s = lot.stats();
         assert!(s.yield_sigma > 0.005, "wafers should differ: {s:?}");
         assert!(s.max_yield - s.min_yield > 0.01, "{s:?}");
@@ -166,14 +170,18 @@ mod tests {
 
     #[test]
     fn lots_are_reproducible() {
-        let a = Lot::fabricate(CoreDesign::FlexiCore8, 2, 3, 3.0, 300).stats();
-        let b = Lot::fabricate(CoreDesign::FlexiCore8, 2, 3, 3.0, 300).stats();
+        let a = Lot::fabricate(CoreDesign::FlexiCore8, 2, 3, 3.0, 300)
+            .unwrap()
+            .stats();
+        let b = Lot::fabricate(CoreDesign::FlexiCore8, 2, 3, 3.0, 300)
+            .unwrap()
+            .stats();
         assert_eq!(a, b);
     }
 
     #[test]
     fn pooled_current_matches_single_wafer_scale() {
-        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 3, 9, 4.5, 300);
+        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 3, 9, 4.5, 300).unwrap();
         let c = lot.current_stats();
         assert!((0.8..1.5).contains(&c.mean_ma), "{c:?}");
         assert!(c.count > 200);

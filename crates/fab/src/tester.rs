@@ -12,6 +12,7 @@
 //! its shortfall (a slow die misses capture on some fraction of cycles).
 
 use crate::calibration::timing::TEST_CLOCK_HZ;
+use crate::error::FabError;
 use crate::variation::DieVariation;
 use flexgate::fault::random_sites;
 use flexgate::netlist::Netlist;
@@ -106,21 +107,21 @@ pub struct Tester<'a> {
 impl<'a> Tester<'a> {
     /// A tester over `netlist` with the given plan.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the netlist is malformed (the core netlists are validated
-    /// by their own tests).
-    #[must_use]
-    pub fn new(netlist: &'a Netlist, plan: TestPlan) -> Self {
-        let path_units = analyze(netlist)
-            .expect("core netlist is well-formed")
-            .critical_path_units;
-        Tester {
+    /// [`FabError::Netlist`] if the netlist fails integrity validation.
+    /// Timing analysis and the batch simulator reject exactly the same
+    /// netlists (both fail only through
+    /// [`levelize`](flexgate::netlist::Netlist::levelize)), so a
+    /// successfully constructed tester cannot fail later.
+    pub fn new(netlist: &'a Netlist, plan: TestPlan) -> Result<Self, FabError> {
+        let path_units = analyze(netlist)?.critical_path_units;
+        Ok(Tester {
             netlist,
             plan,
             path_units,
             delay_model: DelayModel::igzo(),
-        }
+        })
     }
 
     /// Nominal fmax of the design at `voltage` (Table 4's clock row checks
@@ -152,7 +153,8 @@ impl<'a> Tester<'a> {
     /// lane 0 is the golden reference. Returns per-die mismatch counts.
     fn test_chunk(&self, dies: &[DieVariation]) -> Vec<u64> {
         debug_assert!(dies.len() <= 63);
-        let mut sim = BatchSim::new(self.netlist).expect("validated netlist");
+        // Tester::new already ran the only validation BatchSim::new does.
+        let mut sim = BatchSim::new(self.netlist).expect("netlist validated by Tester::new");
         for (i, die) in dies.iter().enumerate() {
             let lane = 1 << (i + 1);
             for site in random_sites(self.netlist, die.defect_count as usize, die.defect_seed) {
@@ -213,16 +215,19 @@ impl<'a> Tester<'a> {
 /// "stimulates all regions of the cores": a die counted functional by
 /// [`Tester::test_wafer`] may still carry a defect the vectors never
 /// excited, and this number bounds how often that happens.
-#[must_use]
-pub fn fault_coverage(netlist: &Netlist, plan: TestPlan) -> f64 {
-    let tester = Tester::new(netlist, plan);
+///
+/// # Errors
+///
+/// [`FabError::Netlist`] if the netlist fails integrity validation.
+pub fn fault_coverage(netlist: &Netlist, plan: TestPlan) -> Result<f64, FabError> {
+    let tester = Tester::new(netlist, plan)?;
     let sites = flexgate::fault::sites(netlist);
     if sites.is_empty() {
-        return 1.0;
+        return Ok(1.0);
     }
     let mut detected = 0usize;
     for chunk in sites.chunks(63) {
-        let mut sim = BatchSim::new(netlist).expect("validated netlist");
+        let mut sim = BatchSim::new(netlist).expect("netlist validated by Tester::new");
         for (i, site) in chunk.iter().enumerate() {
             sim.inject(site.net, site.stuck_at_one, 1 << (i + 1));
         }
@@ -254,7 +259,7 @@ pub fn fault_coverage(netlist: &Netlist, plan: TestPlan) -> f64 {
         }
         detected += seen.iter().filter(|&&s| s).count();
     }
-    detected as f64 / sites.len() as f64
+    Ok(detected as f64 / sites.len() as f64)
 }
 
 #[cfg(test)]
@@ -275,7 +280,7 @@ mod tests {
     #[test]
     fn clean_dies_pass_at_both_voltages() {
         let netlist = flexrtl::build_fc4();
-        let tester = Tester::new(&netlist, TestPlan::quick(500));
+        let tester = Tester::new(&netlist, TestPlan::quick(500)).unwrap();
         for v in [3.0, 4.5] {
             let out = tester.test_wafer(&[clean_die(); 5], v);
             assert!(out.iter().all(DieOutcome::functional), "at {v} V: {out:?}");
@@ -285,7 +290,7 @@ mod tests {
     #[test]
     fn defective_dies_usually_fail() {
         let netlist = flexrtl::build_fc4();
-        let tester = Tester::new(&netlist, TestPlan::quick(2_000));
+        let tester = Tester::new(&netlist, TestPlan::quick(2_000)).unwrap();
         let dies: Vec<DieVariation> = (0..40)
             .map(|i| DieVariation {
                 defect_count: 2,
@@ -303,7 +308,7 @@ mod tests {
     #[test]
     fn slow_dies_fail_only_at_low_voltage() {
         let netlist = flexrtl::build_fc4();
-        let tester = Tester::new(&netlist, TestPlan::quick(500));
+        let tester = Tester::new(&netlist, TestPlan::quick(500)).unwrap();
         let slow = DieVariation {
             delay_factor: 1.3,
             ..clean_die()
@@ -319,8 +324,8 @@ mod tests {
     fn fc8_nominal_timing_fails_at_3v_but_not_fc4() {
         let fc4 = flexrtl::build_fc4();
         let fc8 = flexrtl::build_fc8();
-        let t4 = Tester::new(&fc4, TestPlan::quick(100));
-        let t8 = Tester::new(&fc8, TestPlan::quick(100));
+        let t4 = Tester::new(&fc4, TestPlan::quick(100)).unwrap();
+        let t8 = Tester::new(&fc8, TestPlan::quick(100)).unwrap();
         assert!(t4.nominal_fmax_hz(3.0) > TEST_CLOCK_HZ);
         assert!(t8.nominal_fmax_hz(3.0) < TEST_CLOCK_HZ);
         assert!(t8.nominal_fmax_hz(4.5) > TEST_CLOCK_HZ);
@@ -329,7 +334,7 @@ mod tests {
     #[test]
     fn more_than_63_dies_are_chunked() {
         let netlist = flexrtl::build_fc4();
-        let tester = Tester::new(&netlist, TestPlan::quick(200));
+        let tester = Tester::new(&netlist, TestPlan::quick(200)).unwrap();
         let dies = vec![clean_die(); 130];
         let out = tester.test_wafer(&dies, 4.5);
         assert_eq!(out.len(), 130);
@@ -340,7 +345,7 @@ mod tests {
     fn vector_set_covers_most_stuck_at_faults() {
         // §4.1: the vectors must stimulate all regions of the core
         let netlist = flexrtl::build_fc4();
-        let coverage = fault_coverage(&netlist, TestPlan::quick(4_000));
+        let coverage = fault_coverage(&netlist, TestPlan::quick(4_000)).unwrap();
         assert!(coverage > 0.85, "stuck-at coverage {coverage:.3}");
     }
 }

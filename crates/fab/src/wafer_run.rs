@@ -195,9 +195,13 @@ impl WaferExperiment {
 
     /// Test the wafer at `voltage` with `vector_cycles` random cycles
     /// (plus the directed prologue).
-    #[must_use]
-    pub fn run(&self, voltage: f64, vector_cycles: u64) -> WaferRun {
-        let tester = Tester::new(&self.netlist, TestPlan::quick(vector_cycles));
+    ///
+    /// # Errors
+    ///
+    /// [`FabError::Netlist`](crate::FabError) if the design netlist
+    /// fails integrity validation.
+    pub fn run(&self, voltage: f64, vector_cycles: u64) -> Result<WaferRun, crate::FabError> {
+        let tester = Tester::new(&self.netlist, TestPlan::quick(vector_cycles))?;
         let outcomes = tester.test_wafer(&self.variations, voltage);
         let nominal = Report::of(&self.netlist).total.static_current_ma(4.5);
         let currents = self
@@ -205,13 +209,13 @@ impl WaferExperiment {
             .iter()
             .map(|v| die_current_ma(nominal, v, voltage))
             .collect();
-        WaferRun {
+        Ok(WaferRun {
             sites: self.layout.sites().to_vec(),
             variations: self.variations.clone(),
             outcomes,
             currents_ma: currents,
             voltage,
-        }
+        })
     }
 }
 
@@ -222,7 +226,7 @@ mod tests {
     #[test]
     fn fc4_yield_bands_match_table5() {
         let exp = WaferExperiment::published(CoreDesign::FlexiCore4);
-        let run45 = exp.run(4.5, 2_000);
+        let run45 = exp.run(4.5, 2_000).unwrap();
         let y_inc = run45.yield_inclusion();
         let y_full = run45.yield_full();
         assert!(
@@ -231,7 +235,7 @@ mod tests {
         );
         assert!(y_full < y_inc, "edge effects must hurt full-wafer yield");
 
-        let run30 = exp.run(3.0, 2_000);
+        let run30 = exp.run(3.0, 2_000).unwrap();
         assert!(
             run30.yield_inclusion() < y_inc,
             "3 V must not out-yield 4.5 V"
@@ -241,8 +245,8 @@ mod tests {
     #[test]
     fn fc8_crashes_at_3v() {
         let exp = WaferExperiment::published(CoreDesign::FlexiCore8);
-        let run45 = exp.run(4.5, 1_000);
-        let run30 = exp.run(3.0, 1_000);
+        let run45 = exp.run(4.5, 1_000).unwrap();
+        let run30 = exp.run(3.0, 1_000).unwrap();
         assert!(
             run30.yield_inclusion() < 0.35,
             "fc8 at 3 V = {}",
@@ -254,12 +258,12 @@ mod tests {
     #[test]
     fn current_stats_follow_the_recipe() {
         let exp = WaferExperiment::published(CoreDesign::FlexiCore4);
-        let run = exp.run(4.5, 500);
+        let run = exp.run(4.5, 500).unwrap();
         let stats = run.current_stats();
         assert!((0.8..1.5).contains(&stats.mean_ma), "{stats:?}");
         assert!((0.08..0.25).contains(&stats.rsd), "{stats:?}");
         // current shrinks roughly linearly with voltage
-        let run3 = exp.run(3.0, 500);
+        let run3 = exp.run(3.0, 500).unwrap();
         let s3 = run3.current_stats();
         assert!(
             (s3.mean_ma / stats.mean_ma - 2.0 / 3.0).abs() < 0.08,
@@ -271,8 +275,12 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let a = WaferExperiment::new(CoreDesign::FlexiCore4, 9).run(4.5, 300);
-        let b = WaferExperiment::new(CoreDesign::FlexiCore4, 9).run(4.5, 300);
+        let a = WaferExperiment::new(CoreDesign::FlexiCore4, 9)
+            .run(4.5, 300)
+            .unwrap();
+        let b = WaferExperiment::new(CoreDesign::FlexiCore4, 9)
+            .run(4.5, 300)
+            .unwrap();
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.currents_ma, b.currents_ma);
     }

@@ -93,7 +93,9 @@ mod tests {
     use crate::wafer_run::{CoreDesign, WaferExperiment};
 
     fn run() -> WaferRun {
-        WaferExperiment::new(CoreDesign::FlexiCore4, 5).run(4.5, 300)
+        WaferExperiment::new(CoreDesign::FlexiCore4, 5)
+            .run(4.5, 300)
+            .unwrap()
     }
 
     #[test]

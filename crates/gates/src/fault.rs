@@ -55,8 +55,17 @@ pub fn random_sites(netlist: &Netlist, count: usize, seed: u64) -> Vec<FaultSite
     };
     let mut picked = Vec::with_capacity(count);
     let mut used = std::collections::HashSet::new();
+    // Rejection sampling: a plain `next() % len` over-weights the low
+    // indices whenever `len` does not divide 2^64. Draws at or above the
+    // largest multiple of `len` are discarded instead.
+    let len = all.len() as u64;
+    let zone = u64::MAX - (u64::MAX % len);
     while picked.len() < count && used.len() < all.len() {
-        let idx = (next() % all.len() as u64) as usize;
+        let draw = next();
+        if draw >= zone {
+            continue;
+        }
+        let idx = (draw % len) as usize;
         if used.insert(idx) {
             picked.push(all[idx]);
         }

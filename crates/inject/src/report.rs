@@ -1,0 +1,239 @@
+//! Aggregation and text rendering of campaign results.
+
+use crate::campaign::{CampaignResult, Outcome, Trial};
+use flexicore::sim::StateElement;
+use std::collections::BTreeMap;
+
+/// Outcome counts over a set of trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tally {
+    /// Oracle-exact runs.
+    pub masked: usize,
+    /// Silent data corruptions.
+    pub sdc: usize,
+    /// Simulator faults.
+    pub crash: usize,
+    /// Watchdog expiries.
+    pub hang: usize,
+}
+
+impl Tally {
+    /// Count the outcomes of `trials`.
+    #[must_use]
+    pub fn of(trials: &[Trial]) -> Tally {
+        let mut t = Tally::default();
+        for trial in trials {
+            t.bump(trial.outcome);
+        }
+        t
+    }
+
+    /// Add one outcome.
+    pub fn bump(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Crash => self.crash += 1,
+            Outcome::Hang => self.hang += 1,
+        }
+    }
+
+    /// Total trials counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.masked + self.sdc + self.crash + self.hang
+    }
+
+    /// Fraction of trials the fault was masked (the architectural
+    /// salvage rate).
+    #[must_use]
+    pub fn masked_rate(&self) -> f64 {
+        self.rate(self.masked)
+    }
+
+    /// Fraction of trials ending in silent data corruption.
+    #[must_use]
+    pub fn sdc_rate(&self) -> f64 {
+        self.rate(self.sdc)
+    }
+
+    /// Fraction of trials ending in a simulator fault.
+    #[must_use]
+    pub fn crash_rate(&self) -> f64 {
+        self.rate(self.crash)
+    }
+
+    /// Fraction of trials caught by the watchdog.
+    #[must_use]
+    pub fn hang_rate(&self) -> f64 {
+        self.rate(self.hang)
+    }
+
+    fn rate(&self, n: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        }
+    }
+}
+
+/// The element class a fault site belongs to, for vulnerability
+/// grouping (individual memory words collapse into one class).
+#[must_use]
+pub fn element_class(element: StateElement) -> &'static str {
+    match element {
+        StateElement::Pc => "pc",
+        StateElement::Acc => "acc",
+        StateElement::Mem(_) => "mem",
+        StateElement::FetchBus => "fetch",
+        StateElement::InputPort => "iport",
+        StateElement::OutputPort => "oport",
+    }
+}
+
+/// Unmasked-fraction per element class, most vulnerable first (ties
+/// broken by class name so the ordering is deterministic).
+#[must_use]
+pub fn element_vulnerability(trials: &[Trial]) -> Vec<ElementVulnerability> {
+    let mut per_class: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    for t in trials {
+        let entry = per_class.entry(element_class(t.fault.element)).or_default();
+        entry.1 += 1;
+        if t.outcome != Outcome::Masked {
+            entry.0 += 1;
+        }
+    }
+    let mut rows: Vec<ElementVulnerability> = per_class
+        .into_iter()
+        .map(|(class, (unmasked, trials))| ElementVulnerability {
+            class,
+            unmasked,
+            trials,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.unmasked_rate()
+            .partial_cmp(&a.unmasked_rate())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.class.cmp(b.class))
+    });
+    rows
+}
+
+/// How often faults on one element class escaped masking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElementVulnerability {
+    /// Element class label (`pc`, `acc`, `mem`, `fetch`, `iport`,
+    /// `oport`).
+    pub class: &'static str,
+    /// Trials on this class that were not masked.
+    pub unmasked: usize,
+    /// Total trials on this class.
+    pub trials: usize,
+}
+
+impl ElementVulnerability {
+    /// Fraction of trials on this class that were not masked.
+    #[must_use]
+    pub fn unmasked_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.unmasked as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Render a campaign as the CLI's classification table: one row per
+/// injection, then the tally and the vulnerability ranking.
+#[must_use]
+pub fn render_campaign(result: &CampaignResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let cfg = &result.config;
+    let _ = writeln!(
+        out,
+        "# {} on {:?}: {} faults, seed {}, budget {}",
+        cfg.kernel, cfg.target.dialect, cfg.trials, cfg.seed, cfg.budget
+    );
+    let _ = writeln!(out, "{:<6} {:<18} outcome", "trial", "fault");
+    for (i, t) in result.trials.iter().enumerate() {
+        let _ = writeln!(out, "{:<6} {:<18} {}", i, t.fault.to_string(), t.outcome);
+    }
+    let tally = Tally::of(&result.trials);
+    let _ = writeln!(
+        out,
+        "\nmasked {:>4} ({:5.1} %)   SDC {:>4} ({:5.1} %)   crash {:>4} ({:5.1} %)   hang {:>4} ({:5.1} %)",
+        tally.masked,
+        100.0 * tally.masked_rate(),
+        tally.sdc,
+        100.0 * tally.sdc_rate(),
+        tally.crash,
+        100.0 * tally.crash_rate(),
+        tally.hang,
+        100.0 * tally.hang_rate(),
+    );
+    let _ = writeln!(out, "\nmost vulnerable state elements:");
+    for v in element_vulnerability(&result.trials) {
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>3}/{:<3} unmasked ({:5.1} %)",
+            v.class,
+            v.unmasked,
+            v.trials,
+            100.0 * v.unmasked_rate()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexicore::sim::{ArchFault, FaultKind};
+
+    fn trial(element: StateElement, outcome: Outcome) -> Trial {
+        Trial {
+            fault: ArchFault {
+                element,
+                bit: 0,
+                kind: FaultKind::StuckAt1,
+            },
+            outcome,
+        }
+    }
+
+    #[test]
+    fn tally_counts_and_rates() {
+        let trials = [
+            trial(StateElement::Pc, Outcome::Masked),
+            trial(StateElement::Pc, Outcome::Sdc),
+            trial(StateElement::Acc, Outcome::Crash),
+            trial(StateElement::Acc, Outcome::Hang),
+        ];
+        let t = Tally::of(&trials);
+        assert_eq!((t.masked, t.sdc, t.crash, t.hang), (1, 1, 1, 1));
+        assert_eq!(t.total(), 4);
+        assert!((t.masked_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(Tally::default().masked_rate(), 0.0);
+    }
+
+    #[test]
+    fn vulnerability_ranks_unmasked_first() {
+        let trials = [
+            trial(StateElement::Pc, Outcome::Crash),
+            trial(StateElement::Pc, Outcome::Hang),
+            trial(StateElement::Mem(0), Outcome::Masked),
+            trial(StateElement::Mem(3), Outcome::Sdc),
+            trial(StateElement::Acc, Outcome::Masked),
+        ];
+        let rows = element_vulnerability(&trials);
+        assert_eq!(rows[0].class, "pc");
+        assert_eq!(rows[0].unmasked, 2);
+        assert_eq!(rows[1].class, "mem");
+        assert_eq!(rows[1].trials, 2, "mem words collapse into one class");
+        assert_eq!(rows.last().unwrap().class, "acc");
+    }
+}

@@ -1,0 +1,165 @@
+//! Fault-site enumeration: every (state element, bit) pair a fault can
+//! land on, per dialect.
+//!
+//! The architectural state differs across the four dialects (datapath
+//! width, memory depth, presence of an accumulator), so the site list is
+//! dialect-specific. Site order is fixed — enumeration order is part of
+//! the campaign determinism contract.
+
+use flexicore::isa::Dialect;
+use flexicore::sim::{ArchFault, FaultKind, StateElement};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The program counter is 7 bits on every dialect (in-page addressing).
+pub const PC_BITS: u8 = 7;
+
+/// Every fetched byte crosses an 8-bit bus regardless of datapath width.
+pub const FETCH_BITS: u8 = 8;
+
+/// One injectable location: a single bit of a single state element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    /// The state element.
+    pub element: StateElement,
+    /// The bit within it.
+    pub bit: u8,
+}
+
+impl FaultSite {
+    /// Bind a [`FaultKind`] to this site.
+    #[must_use]
+    pub fn with_kind(self, kind: FaultKind) -> ArchFault {
+        ArchFault {
+            element: self.element,
+            bit: self.bit,
+            kind,
+        }
+    }
+}
+
+/// Datapath width in bits for a dialect.
+#[must_use]
+pub fn data_bits(dialect: Dialect) -> u8 {
+    match dialect {
+        Dialect::Fc8 => 8,
+        Dialect::Fc4 | Dialect::ExtendedAcc | Dialect::LoadStore => 4,
+    }
+}
+
+/// Number of data-memory words (or registers, on the load-store
+/// dialect).
+#[must_use]
+pub fn mem_words(dialect: Dialect) -> u8 {
+    match dialect {
+        Dialect::Fc8 => 4,
+        Dialect::Fc4 | Dialect::ExtendedAcc | Dialect::LoadStore => 8,
+    }
+}
+
+/// Whether the dialect has an architectural accumulator.
+#[must_use]
+pub fn has_accumulator(dialect: Dialect) -> bool {
+    !matches!(dialect, Dialect::LoadStore)
+}
+
+/// Every injectable (element, bit) site of a dialect, in a fixed order:
+/// PC, accumulator, memory words, fetch bus, input port, output port —
+/// low bit first within each element.
+#[must_use]
+pub fn enumerate(dialect: Dialect) -> Vec<FaultSite> {
+    let width = data_bits(dialect);
+    let mut sites = Vec::new();
+    let mut push = |element: StateElement, bits: u8| {
+        for bit in 0..bits {
+            sites.push(FaultSite { element, bit });
+        }
+    };
+    push(StateElement::Pc, PC_BITS);
+    if has_accumulator(dialect) {
+        push(StateElement::Acc, width);
+    }
+    for word in 0..mem_words(dialect) {
+        push(StateElement::Mem(word), width);
+    }
+    push(StateElement::FetchBus, FETCH_BITS);
+    push(StateElement::InputPort, width);
+    push(StateElement::OutputPort, width);
+    sites
+}
+
+/// Draw `count` stuck-at faults for one manufactured die from its
+/// defect seed, mirroring how `flexfab` maps defect draws onto gate-level
+/// fault sites: uniform over the architectural site list, polarity by
+/// coin flip, all permanent.
+#[must_use]
+pub fn die_faults(dialect: Dialect, defect_seed: u64, count: u32) -> Vec<ArchFault> {
+    let sites = enumerate(dialect);
+    let mut rng = StdRng::seed_from_u64(defect_seed);
+    (0..count)
+        .map(|_| {
+            let site = sites[rng.gen_range(0..sites.len())];
+            let kind = if rng.gen_bool(0.5) {
+                FaultKind::StuckAt0
+            } else {
+                FaultKind::StuckAt1
+            };
+            site.with_kind(kind)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_counts_per_dialect() {
+        // fc4: pc 7 + acc 4 + 8 words * 4 + fetch 8 + in 4 + out 4
+        assert_eq!(enumerate(Dialect::Fc4).len(), 7 + 4 + 32 + 8 + 4 + 4);
+        // fc8: pc 7 + acc 8 + 4 words * 8 + fetch 8 + in 8 + out 8
+        assert_eq!(enumerate(Dialect::Fc8).len(), 7 + 8 + 32 + 8 + 8 + 8);
+        // xacc matches fc4's shape
+        assert_eq!(
+            enumerate(Dialect::ExtendedAcc).len(),
+            enumerate(Dialect::Fc4).len()
+        );
+        // xls: no accumulator, 8 registers
+        assert_eq!(enumerate(Dialect::LoadStore).len(), 7 + 32 + 8 + 4 + 4);
+    }
+
+    #[test]
+    fn sites_are_unique_and_in_range() {
+        for dialect in [
+            Dialect::Fc4,
+            Dialect::Fc8,
+            Dialect::ExtendedAcc,
+            Dialect::LoadStore,
+        ] {
+            let sites = enumerate(dialect);
+            let unique: std::collections::HashSet<_> = sites.iter().collect();
+            assert_eq!(unique.len(), sites.len(), "{dialect:?}");
+            for s in &sites {
+                let width = match s.element {
+                    StateElement::Pc => PC_BITS,
+                    StateElement::FetchBus => FETCH_BITS,
+                    _ => data_bits(dialect),
+                };
+                assert!(s.bit < width, "{dialect:?} {:?}", s);
+            }
+        }
+    }
+
+    #[test]
+    fn die_faults_are_deterministic_and_permanent() {
+        let a = die_faults(Dialect::Fc4, 42, 5);
+        let b = die_faults(Dialect::Fc4, 42, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a
+            .iter()
+            .all(|f| matches!(f.kind, FaultKind::StuckAt0 | FaultKind::StuckAt1)));
+        let c = die_faults(Dialect::Fc4, 43, 5);
+        assert_ne!(a, c);
+    }
+}

@@ -2,14 +2,16 @@
 
 use crate::{oracle, sources, Kernel};
 use flexasm::{AsmError, Target};
-use flexcore_dialect::run_on_dialect;
+pub use flexcore_dialect::run_on_dialect_with;
 use flexicore::io::{RecordingOutput, ScriptedInput};
 use flexicore::isa::Dialect;
-use flexicore::sim::RunResult;
+use flexicore::program::Program;
+use flexicore::sim::{FaultHook, NoFaults, RunResult};
 use flexicore::SimError;
 
-/// Cycle budget for one kernel execution (generous; base-ISA shifts are
-/// expensive but bounded).
+/// Default watchdog budget for one kernel execution (generous; base-ISA
+/// shifts are expensive but bounded). Cycles on FC4/FC8, retired
+/// instructions on the extended dialects.
 pub const CYCLE_BUDGET: u64 = 200_000;
 
 /// The outcome of one verified kernel execution.
@@ -37,7 +39,8 @@ pub enum RunError {
     Asm(AsmError),
     /// The simulator faulted.
     Sim(SimError),
-    /// Execution did not reach the halt idiom within [`CYCLE_BUDGET`].
+    /// Execution did not reach the halt idiom within the watchdog budget
+    /// (defaults to [`CYCLE_BUDGET`]).
     DidNotHalt,
     /// The output stream differed from the oracle.
     OracleMismatch {
@@ -62,7 +65,15 @@ impl core::fmt::Display for RunError {
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Asm(e) => Some(e),
+            RunError::Sim(e) => Some(e),
+            RunError::DidNotHalt | RunError::OracleMismatch { .. } => None,
+        }
+    }
+}
 
 impl From<AsmError> for RunError {
     fn from(e: AsmError) -> Self {
@@ -76,6 +87,100 @@ impl From<SimError> for RunError {
     }
 }
 
+/// A kernel assembled once for a target, reusable across many runs
+/// (fault-injection campaigns run thousands of executions of the same
+/// program image).
+#[derive(Debug, Clone)]
+pub struct PreparedKernel {
+    kernel: Kernel,
+    target: Target,
+    program: Program,
+    static_instructions: usize,
+    code_bytes: usize,
+}
+
+impl PreparedKernel {
+    /// Assemble `kernel` for `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Asm`] if the kernel does not assemble.
+    pub fn new(kernel: Kernel, target: Target) -> Result<Self, RunError> {
+        let source = sources::source_for(kernel, target.dialect);
+        let assembly = flexasm::Assembler::new(target).assemble(&source)?;
+        Ok(PreparedKernel {
+            kernel,
+            target,
+            static_instructions: assembly.static_instructions(),
+            code_bytes: assembly.code_bytes(),
+            program: assembly.into_program(),
+        })
+    }
+
+    /// The kernel this program implements.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The assembly target.
+    #[must_use]
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// The assembled program image.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Execute once with `inputs` scripted on the input port, a `budget`
+    /// watchdog, and `faults` injected, verifying against the oracle.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run_with<F: FaultHook>(
+        &self,
+        inputs: &[u8],
+        budget: u64,
+        faults: &mut F,
+    ) -> Result<KernelRun, RunError> {
+        let mut input = ScriptedInput::new(inputs.to_vec());
+        let mut output = RecordingOutput::new();
+        let result = run_on_dialect_with(
+            self.target,
+            self.program.clone(),
+            &mut input,
+            &mut output,
+            budget,
+            faults,
+        )?;
+        if !result.halted() {
+            return Err(RunError::DidNotHalt);
+        }
+
+        let raw_outputs = output.values();
+        let expected = oracle::expected_outputs(self.kernel, self.target.dialect, inputs);
+        if raw_outputs != expected {
+            return Err(RunError::OracleMismatch {
+                expected,
+                actual: raw_outputs,
+            });
+        }
+        let outputs = oracle::payload(self.kernel, self.target.dialect, &raw_outputs);
+        Ok(KernelRun {
+            outputs,
+            raw_outputs,
+            result,
+            verified: true,
+            static_instructions: self.static_instructions,
+            code_bytes: self.code_bytes,
+        })
+    }
+}
+
 /// Assemble `kernel` for `target`, execute it on the matching functional
 /// simulator with `inputs` scripted on the input port, and verify the
 /// output stream against the oracle.
@@ -84,36 +189,26 @@ impl From<SimError> for RunError {
 ///
 /// See [`RunError`].
 pub fn run_kernel(kernel: Kernel, target: Target, inputs: &[u8]) -> Result<KernelRun, RunError> {
-    let source = sources::source_for(kernel, target.dialect);
-    let assembly = flexasm::Assembler::new(target).assemble(&source)?;
-    let static_instructions = assembly.static_instructions();
-    let code_bytes = assembly.code_bytes();
-    let program = assembly.into_program();
+    run_kernel_with(kernel, target, inputs, CYCLE_BUDGET, &mut NoFaults)
+}
 
-    let mut input = ScriptedInput::new(inputs.to_vec());
-    let mut output = RecordingOutput::new();
-    let result = run_on_dialect(target, program, &mut input, &mut output, CYCLE_BUDGET)?;
-    if !result.halted() {
-        return Err(RunError::DidNotHalt);
-    }
-
-    let raw_outputs = output.values();
-    let expected = oracle::expected_outputs(kernel, target.dialect, inputs);
-    if raw_outputs != expected {
-        return Err(RunError::OracleMismatch {
-            expected,
-            actual: raw_outputs,
-        });
-    }
-    let outputs = oracle::payload(kernel, target.dialect, &raw_outputs);
-    Ok(KernelRun {
-        outputs,
-        raw_outputs,
-        result,
-        verified: true,
-        static_instructions,
-        code_bytes,
-    })
+/// [`run_kernel`] with a configurable watchdog `budget` and a
+/// fault-injection hook. Campaign runners use tighter budgets for faster
+/// hang detection and a [`flexicore::sim::FaultPlane`] for injection;
+/// `run_kernel(k, t, i)` is exactly
+/// `run_kernel_with(k, t, i, CYCLE_BUDGET, &mut NoFaults)`.
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn run_kernel_with<F: FaultHook>(
+    kernel: Kernel,
+    target: Target,
+    inputs: &[u8],
+    budget: u64,
+    faults: &mut F,
+) -> Result<KernelRun, RunError> {
+    PreparedKernel::new(kernel, target)?.run_with(inputs, budget, faults)
 }
 
 /// Dialect dispatch for running an assembled program on the right
@@ -127,20 +222,29 @@ mod flexcore_dialect {
     use flexicore::sim::xacc::XaccCore;
     use flexicore::sim::xls::XlsCore;
 
-    pub fn run_on_dialect<I: InputPort, O: OutputPort>(
+    /// Run `program` on the functional simulator matching
+    /// `target.dialect`, threading a fault-injection hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulator.
+    pub fn run_on_dialect_with<I: InputPort, O: OutputPort, F: FaultHook>(
         target: Target,
         program: Program,
         input: &mut I,
         output: &mut O,
         budget: u64,
+        faults: &mut F,
     ) -> Result<RunResult, SimError> {
         match target.dialect {
-            Dialect::Fc4 => Fc4Core::new(program).run(input, output, budget),
-            Dialect::Fc8 => Fc8Core::new(program).run(input, output, budget),
+            Dialect::Fc4 => Fc4Core::new(program).run_with(input, output, budget, faults),
+            Dialect::Fc8 => Fc8Core::new(program).run_with(input, output, budget, faults),
             Dialect::ExtendedAcc => {
-                XaccCore::new(target.features, program).run(input, output, budget)
+                XaccCore::new(target.features, program).run_with(input, output, budget, faults)
             }
-            Dialect::LoadStore => XlsCore::new(target.features, program).run(input, output, budget),
+            Dialect::LoadStore => {
+                XlsCore::new(target.features, program).run_with(input, output, budget, faults)
+            }
         }
     }
 }
@@ -221,6 +325,33 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run.outputs, vec![0, 1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn parity_on_fc8_matches_oracle_exhaustively() {
+        let prepared = PreparedKernel::new(Kernel::ParityCheck, Target::fc8()).unwrap();
+        for word in 0..=255u8 {
+            let run = prepared
+                .run_with(&[word & 0xF, word >> 4], CYCLE_BUDGET, &mut NoFaults)
+                .unwrap();
+            assert_eq!(
+                run.outputs,
+                vec![(word.count_ones() & 1) as u8],
+                "{word:#04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn fc8_support_matches_assembler_reality() {
+        for k in Kernel::ALL {
+            let assembles = k.assemble(Target::fc8()).is_ok();
+            assert_eq!(
+                assembles,
+                k.supports(flexicore::isa::Dialect::Fc8),
+                "{k}: supports() must track what actually assembles"
+            );
+        }
     }
 
     #[test]

@@ -104,6 +104,20 @@ impl Kernel {
         }
     }
 
+    /// Whether the kernel has a program for `dialect`.
+    ///
+    /// Everything builds for the 4-bit dialects. FlexiCore8's four data
+    /// words (two of them the IO ports) fit only the kernels that live in
+    /// two scratch registers — currently [`Kernel::ParityCheck`] — which
+    /// is the §3.3 capacity trade-off the paper describes.
+    #[must_use]
+    pub fn supports(self, dialect: flexicore::isa::Dialect) -> bool {
+        match dialect {
+            flexicore::isa::Dialect::Fc8 => matches!(self, Kernel::ParityCheck),
+            _ => true,
+        }
+    }
+
     /// Whether the kernel processes a stream (latency/energy reported per
     /// input) rather than a single activation.
     #[must_use]

@@ -16,6 +16,7 @@ use std::fmt::Write;
 pub fn source_for(kernel: Kernel, dialect: Dialect) -> String {
     match dialect {
         Dialect::LoadStore => source_ls(kernel),
+        Dialect::Fc8 => source_fc8(kernel),
         _ => source(kernel),
     }
 }
@@ -369,6 +370,88 @@ node_{i}:
     );
     emit_subtree(s, 2 * i + 1, out); // fall-through: feature > threshold
     emit_subtree(s, 2 * i, out); // branch target: feature <= threshold
+}
+
+// ---------------------------------------------------------------------------
+// FlexiCore8 sources
+// ---------------------------------------------------------------------------
+
+/// The FlexiCore8 source for `kernel`.
+///
+/// FlexiCore8 has four data words, two of them the IO ports, so only
+/// kernels that fit in two scratch registers have native programs (the
+/// §3.3 capacity trade-off; the full suite was measured on FlexiCore4,
+/// §5.2). Kernels without one return the accumulator source, which the
+/// assembler rejects with a memory-range error — see
+/// [`Kernel::supports`](crate::Kernel::supports) to query availability
+/// up front.
+#[must_use]
+pub fn source_fc8(kernel: Kernel) -> String {
+    match kernel {
+        Kernel::ParityCheck => parity_fc8_source(),
+        _ => source(kernel),
+    }
+}
+
+/// Parity on the wide datapath, same protocol as the 4-bit program: two
+/// nibble inputs (low first), one parity-bit output. The byte is folded
+/// MSB-first by testing the sign with `br` and doubling — no nibble
+/// split, which is the point of the 8-bit core.
+fn parity_fc8_source() -> String {
+    let mut s = String::from(
+        "\
+; Parity (FlexiCore8): combine two nibble inputs, fold eight bits.
+; registers: r2 word (shifting), r3 high nibble -> parity accumulator
+        load  r0            ; low nibble
+        store r2
+        load  r0            ; high nibble
+        store r3
+",
+    );
+    for _ in 0..4 {
+        s.push_str(
+            "\
+        load  r3
+        add   r3
+        store r3
+",
+        );
+    }
+    s.push_str(
+        "\
+        load  r2
+        add   r3
+        store r2            ; word = high << 4 | low
+        ldb   0
+        store r3            ; parity = 0
+",
+    );
+    for bit in 0..8 {
+        let _ = writeln!(
+            s,
+            "\
+; bit {bit}
+        load  r2
+        br    @set_{bit}
+        jmp   @next_{bit}
+@set_{bit}:
+        load  r3
+        xori  1
+        store r3
+@next_{bit}:
+        load  r2
+        add   r2
+        store r2"
+        );
+    }
+    s.push_str(
+        "\
+        load  r3
+        store r1
+        halt
+",
+    );
+    s
 }
 
 // ---------------------------------------------------------------------------

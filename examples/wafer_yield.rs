@@ -25,7 +25,7 @@ fn main() {
     );
 
     for voltage in [4.5, 3.0] {
-        let run = exp.run(voltage, 20_000);
+        let run = exp.run(voltage, 20_000).expect("wafer test failed");
         println!("--- test at {voltage} V ---");
         println!(
             "error map ('.' functional, ',' functional in edge zone, digits = error magnitude):"
@@ -46,7 +46,7 @@ fn main() {
         );
     }
 
-    let run = exp.run(4.5, 5_000);
+    let run = exp.run(4.5, 5_000).expect("wafer test failed");
     println!("current-draw map at 4.5 V (darker = more current):");
     print!("{}", wafermap::current_map(&run));
     println!(

@@ -168,8 +168,8 @@ fn fc8_native_parity_cosimulates() {
 #[test]
 fn wafer_results_are_reproducible_and_in_band() {
     let exp = WaferExperiment::published(CoreDesign::FlexiCore4);
-    let run_a = exp.run(4.5, 3_000);
-    let run_b = exp.run(4.5, 3_000);
+    let run_a = exp.run(4.5, 3_000).unwrap();
+    let run_b = exp.run(4.5, 3_000).unwrap();
     assert_eq!(run_a.outcomes, run_b.outcomes);
     let y = run_a.yield_inclusion();
     assert!((0.70..=0.95).contains(&y), "inclusion yield {y}");
@@ -179,8 +179,12 @@ fn wafer_results_are_reproducible_and_in_band() {
 /// central voltage-sensitivity observation.
 #[test]
 fn voltage_sensitivity_orders_the_cores() {
-    let fc4 = WaferExperiment::published(CoreDesign::FlexiCore4).run(3.0, 2_000);
-    let fc8 = WaferExperiment::published(CoreDesign::FlexiCore8).run(3.0, 2_000);
+    let fc4 = WaferExperiment::published(CoreDesign::FlexiCore4)
+        .run(3.0, 2_000)
+        .unwrap();
+    let fc8 = WaferExperiment::published(CoreDesign::FlexiCore8)
+        .run(3.0, 2_000)
+        .unwrap();
     assert!(fc4.yield_inclusion() > 2.0 * fc8.yield_inclusion());
 }
 

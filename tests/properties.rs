@@ -326,6 +326,53 @@ proptest! {
         prop_assert_eq!(reassembled.program().as_bytes(), &bytes[..]);
     }
 
+    /// A zero-fault [`FaultPlane`] must be invisible: for every kernel ×
+    /// dialect pair the dialect can hold, the hooked run reproduces the
+    /// clean run bit-for-bit — same outputs, same raw stream, same cycle
+    /// and instruction counts, same stop reason.
+    #[test]
+    fn zero_fault_plane_is_bit_for_bit_transparent(seed in any::<u64>()) {
+        use flexicore::sim::fault::{FaultPlane, NoFaults};
+        use flexkernels::harness::{run_kernel_with, CYCLE_BUDGET};
+        use flexkernels::inputs::Sampler;
+        use flexkernels::Kernel;
+
+        for name in ["fc4", "fc8", "xacc", "xls"] {
+            let target = flexinject::target_from_name(name).unwrap();
+            for kernel in Kernel::ALL {
+                if !kernel.supports(target.dialect) {
+                    continue;
+                }
+                let inputs = Sampler::new(kernel, seed).draw();
+                let clean = run_kernel_with(kernel, target, &inputs, CYCLE_BUDGET, &mut NoFaults)
+                    .expect("clean run must verify");
+                let mut plane = FaultPlane::new();
+                let hooked = run_kernel_with(kernel, target, &inputs, CYCLE_BUDGET, &mut plane)
+                    .expect("zero-fault run must verify");
+                prop_assert_eq!(&clean.outputs, &hooked.outputs, "{} on {}", kernel.name(), name);
+                prop_assert_eq!(&clean.raw_outputs, &hooked.raw_outputs);
+                prop_assert_eq!(clean.result, hooked.result);
+                prop_assert!(hooked.verified);
+            }
+        }
+    }
+
+    /// Campaign classification is a pure function of the seed: replaying
+    /// a campaign reproduces every fault draw and every outcome.
+    #[test]
+    fn campaigns_classify_deterministically(seed in any::<u64>(), trials in 1usize..24) {
+        use flexinject::{run_campaign, CampaignConfig, FaultModel};
+        use flexkernels::Kernel;
+
+        let target = flexinject::target_from_name("fc4").unwrap();
+        let mut config = CampaignConfig::new(target, Kernel::XorShift8, trials, seed);
+        config.model = FaultModel::Mixed;
+        let a = run_campaign(config).unwrap();
+        let b = run_campaign(config).unwrap();
+        prop_assert_eq!(a.trials, b.trials);
+        prop_assert_eq!(a.clean_cycles, b.clean_cycles);
+    }
+
     /// Branch-free load-store programs disassemble and reassemble to the
     /// same halfwords.
     #[test]

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of the 0.5 API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Throughput`], `criterion_group!`/`criterion_main!` and
+//! [`black_box`] — with a plain wall-clock measurement loop instead of
+//! criterion's statistical machinery. Numbers are printed as
+//! median-of-batches nanoseconds per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard hint; prevents the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_batch: u64,
+    batches: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters_per_batch: 0,
+            batches: Vec::new(),
+        }
+    }
+
+    /// Measure `f` repeatedly; the harness times several batches and keeps
+    /// the per-batch durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // calibrate: grow the batch until it runs at least ~2ms
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_batch = iters;
+        const BATCHES: usize = 7;
+        self.batches.clear();
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.batches.push(t.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&mut self) -> f64 {
+        if self.batches.is_empty() || self.iters_per_batch == 0 {
+            return f64::NAN;
+        }
+        self.batches.sort();
+        let mid = self.batches[self.batches.len() / 2];
+        mid.as_nanos() as f64 / self.iters_per_batch as f64
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report per-iteration throughput in these units.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (retained for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    let ns = b.median_ns_per_iter();
+    match throughput {
+        Some(Throughput::Elements(n)) if ns.is_finite() && ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns;
+            println!("{name:<44} {ns:>12.1} ns/iter   {per_sec:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if ns.is_finite() && ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns;
+            println!("{name:<44} {ns:>12.1} ns/iter   {per_sec:>14.0} B/s");
+        }
+        _ => println!("{name:<44} {ns:>12.1} ns/iter"),
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new();
+        b.iter(|| (0..100u64).sum::<u64>());
+        let ns = b.median_ns_per_iter();
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}
