@@ -12,6 +12,16 @@ cargo build --release --offline --workspace
 echo "== cargo test =="
 cargo test --offline --workspace -q
 
+echo "== cargo test --release =="
+cargo test --release --offline --workspace -q
+
+echo "== cargo doc =="
+# -p per first-party crate: the vendored stubs are workspace members and
+# must not be held to -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
+    -p flexicore -p flexasm -p flexgate -p flexrtl -p flexfab \
+    -p flexkernels -p flexinject -p flexdse -p flexcli -p flexbench
+
 echo "== cargo clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -422,7 +422,7 @@ mod tests {
             )
             .unwrap();
         assert!(r.halted());
-        assert_eq!(core.mem(2), 3);
+        assert_eq!(core.mem(2), Some(3));
     }
 
     #[test]

@@ -24,13 +24,13 @@ fn run_acc(target: Target, source: &str, input: u8) -> (u8, u8) {
             let mut core = flexicore::sim::fc4::Fc4Core::new(program);
             let r = core.run(&mut inp, &mut out, 100_000).expect("runs");
             assert!(r.halted(), "did not halt:\n{source}");
-            (core.mem(3), core.mem(2))
+            (core.mem(3).unwrap(), core.mem(2).unwrap())
         }
         Dialect::ExtendedAcc => {
             let mut core = flexicore::sim::xacc::XaccCore::new(target.features, program);
             let r = core.run(&mut inp, &mut out, 100_000).expect("runs");
             assert!(r.halted(), "did not halt:\n{source}");
-            (core.mem(3), core.mem(2))
+            (core.mem(3).unwrap(), core.mem(2).unwrap())
         }
         other => unreachable!("{other}"),
     }
@@ -130,13 +130,13 @@ proptest! {
                 Dialect::Fc4 => {
                     let mut core = flexicore::sim::fc4::Fc4Core::new(program);
                     core.run(&mut inp, &mut out, 100_000).unwrap();
-                    (core.mem(3), core.mem(2))
+                    (core.mem(3).unwrap(), core.mem(2).unwrap())
                 }
                 _ => {
                     let mut core =
                         flexicore::sim::xacc::XaccCore::new(target.features, program);
                     core.run(&mut inp, &mut out, 100_000).unwrap();
-                    (core.mem(3), core.mem(2))
+                    (core.mem(3).unwrap(), core.mem(2).unwrap())
                 }
             };
             prop_assert_eq!(r3, b & 0xF);

@@ -2,11 +2,27 @@
 
 use crate::args::{Args, CliError};
 use flexasm::{Assembler, Target};
+use flexicore::exec::AnyCore;
 use flexicore::io::{InputPort, OutputPort, RecordingOutput, ScriptedInput};
 use flexicore::isa::Dialect;
 use flexicore::program::Program;
 use flexicore::sim::RunResult;
 use std::fmt::Write as _;
+
+/// Build the gate-level netlist for a fabricated dialect, or report that
+/// `command` only supports the two taped-out cores.
+fn fabricated_netlist(
+    command: &str,
+    dialect: Dialect,
+) -> Result<flexgate::netlist::Netlist, CliError> {
+    match dialect {
+        Dialect::Fc4 => Ok(flexrtl::build_fc4()),
+        Dialect::Fc8 => Ok(flexrtl::build_fc8()),
+        other => Err(CliError::Usage(format!(
+            "{command} supports the fabricated dialects fc4/fc8, not {other}"
+        ))),
+    }
+}
 
 /// The help text.
 #[must_use]
@@ -133,20 +149,11 @@ pub fn cosim(args: &mut Args) -> Result<String, CliError> {
     let source = std::fs::read_to_string(&path)?;
     let assembly = Assembler::new(target).assemble(&source)?;
     let mut fixed = flexicore::io::ConstInput::new(input);
-    let result = match target.dialect {
-        Dialect::Fc4 => {
-            let netlist = flexrtl::build_fc4();
-            flexrtl::cosim::cosim_fc4(&netlist, assembly.program(), &mut fixed, cycles)
-        }
-        Dialect::Fc8 => {
-            let netlist = flexrtl::build_fc8();
-            flexrtl::cosim::cosim_fc8(&netlist, assembly.program(), &mut fixed, cycles)
-        }
-        other => {
-            return Err(CliError::Usage(format!(
-                "cosim supports the fabricated dialects fc4/fc8, not {other}"
-            )))
-        }
+    let netlist = fabricated_netlist("cosim", target.dialect)?;
+    let result = if target.dialect == Dialect::Fc4 {
+        flexrtl::cosim::cosim_fc4(&netlist, assembly.program(), &mut fixed, cycles)
+    } else {
+        flexrtl::cosim::cosim_fc8(&netlist, assembly.program(), &mut fixed, cycles)
     };
     Ok(if result.is_equivalent() {
         format!(
@@ -173,15 +180,7 @@ pub fn wave(args: &mut Args) -> Result<String, CliError> {
 
     let source = std::fs::read_to_string(&path)?;
     let assembly = Assembler::new(target).assemble(&source)?;
-    let netlist = match target.dialect {
-        Dialect::Fc4 => flexrtl::build_fc4(),
-        Dialect::Fc8 => flexrtl::build_fc8(),
-        other => {
-            return Err(CliError::Usage(format!(
-                "wave supports the fabricated dialects fc4/fc8, not {other}"
-            )))
-        }
-    };
+    let netlist = fabricated_netlist("wave", target.dialect)?;
     let mut sim = flexgate::sim::BatchSim::new(&netlist).expect("core netlists are well-formed");
     sim.reset();
     let mut vcd = flexgate::vcd::VcdRecorder::new(&netlist, &["instr", "iport", "pc", "oport"]);
@@ -408,38 +407,27 @@ fn execute<I: InputPort, O: OutputPort>(
     max_cycles: u64,
     trace: bool,
 ) -> Result<(RunResult, String), flexicore::SimError> {
-    use flexicore::sim::{fc4::Fc4Core, fc8::Fc8Core, xacc::XaccCore, xls::XlsCore};
-
-    // trace by stepping; otherwise run whole
-    macro_rules! drive {
-        ($core:expr) => {{
-            let mut core = $core;
-            let mut text = String::new();
-            if trace {
-                while !core.is_halted() && core.instructions() < max_cycles {
-                    let ev = core.step(input, output)?;
-                    let _ = writeln!(
-                        text,
-                        "cycle {:>6}  addr {:#06x}  acc {:#03x}  pc -> {:#04x}{}",
-                        ev.cycle,
-                        ev.address,
-                        ev.acc,
-                        ev.next_pc,
-                        if ev.taken_branch { "  (taken)" } else { "" }
-                    );
-                }
-            }
-            let r = core.run(input, output, max_cycles)?;
-            Ok((r, text))
-        }};
+    // One constructor for all four dialects; the per-dialect matches that
+    // used to live here moved into `flexicore::exec::AnyCore`.
+    let mut core = AnyCore::for_dialect(target.dialect, target.features, program);
+    let mut text = String::new();
+    if trace {
+        // trace by stepping; the subsequent run() finishes the budget
+        while !core.is_halted() && core.instructions() < max_cycles {
+            let ev = core.step(input, output)?;
+            let _ = writeln!(
+                text,
+                "cycle {:>6}  addr {:#06x}  acc {:#03x}  pc -> {:#04x}{}",
+                ev.cycle,
+                ev.address,
+                ev.acc,
+                ev.next_pc,
+                if ev.taken_branch { "  (taken)" } else { "" }
+            );
+        }
     }
-
-    match target.dialect {
-        Dialect::Fc4 => drive!(Fc4Core::new(program)),
-        Dialect::Fc8 => drive!(Fc8Core::new(program)),
-        Dialect::ExtendedAcc => drive!(XaccCore::new(target.features, program)),
-        Dialect::LoadStore => drive!(XlsCore::new(target.features, program)),
-    }
+    let r = core.run(input, output, max_cycles)?;
+    Ok((r, text))
 }
 
 #[cfg(test)]

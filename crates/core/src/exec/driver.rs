@@ -1,0 +1,289 @@
+//! Batched multi-core driver: N independent dies stepped in one loop.
+//!
+//! Wafer-scale work — yield screens, salvage analysis, fault-injection
+//! campaigns — runs the *same program* on many simulated dies that
+//! differ only in inputs and defect faults. Instead of running each die
+//! to completion serially, [`MultiCoreDriver`] admits one [`Lane`] per
+//! die and sweeps all running lanes round-robin, one instruction each,
+//! keeping the per-step state of the whole batch hot in cache. Lanes
+//! are fully independent, so results are bit-for-bit identical to
+//! serial `run_with` calls; the driver is the seam a future parallel
+//! wafer Monte-Carlo plugs into.
+
+use crate::error::SimError;
+use crate::io::{InputPort, OutputPort};
+use crate::sim::fault::{FaultHook, NoFaults};
+use crate::sim::RunResult;
+
+use super::AnyCore;
+
+/// How one lane left the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaneStatus {
+    /// Still executing (not halted, budget not exhausted).
+    Running,
+    /// Halted or hit the watchdog budget; accounting snapshot attached.
+    Done(RunResult),
+    /// The simulator faulted (illegal instruction, bad fetch, …).
+    Faulted(SimError),
+}
+
+impl LaneStatus {
+    /// `true` while the lane is still executing.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        matches!(self, LaneStatus::Running)
+    }
+}
+
+/// One simulated die: a core plus its private IO ports and fault hook.
+#[derive(Debug)]
+pub struct Lane<I, O, F = NoFaults> {
+    /// The die's core.
+    pub core: AnyCore,
+    /// The die's input port.
+    pub input: I,
+    /// The die's output port.
+    pub output: O,
+    /// The die's fault hook (defect faults, or a transparent plane).
+    pub faults: F,
+    /// Where the lane stands.
+    pub status: LaneStatus,
+}
+
+/// Steps N independent cores in a cache-friendly round-robin loop.
+#[derive(Debug)]
+pub struct MultiCoreDriver<I, O, F = NoFaults> {
+    lanes: Vec<Lane<I, O, F>>,
+    budget: u64,
+}
+
+impl<I: InputPort, O: OutputPort, F: FaultHook> MultiCoreDriver<I, O, F> {
+    /// An empty driver; every lane gets the same watchdog `budget`
+    /// (cycles on FlexiCore4/8, retired instructions on the extended
+    /// dialects — the same units as each dialect's `run`).
+    #[must_use]
+    pub fn new(budget: u64) -> Self {
+        MultiCoreDriver {
+            lanes: Vec::new(),
+            budget,
+        }
+    }
+
+    /// The per-lane watchdog budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Number of admitted lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` when no lane has been admitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Number of lanes still running.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.lanes.iter().filter(|l| l.status.is_running()).count()
+    }
+
+    /// Admit one die. Power-on state faults are applied immediately
+    /// (matching what serial `run_with` does before its first fetch).
+    pub fn push(&mut self, core: AnyCore, input: I, output: O, faults: F) {
+        let mut lane = Lane {
+            core,
+            input,
+            output,
+            faults,
+            status: LaneStatus::Running,
+        };
+        lane.core.power_on_faults(&mut lane.faults);
+        self.lanes.push(lane);
+    }
+
+    /// Sweep every running lane once: retire lanes that have halted or
+    /// exhausted the budget, step the rest by one instruction. Returns
+    /// the number of lanes that actually stepped; when it reaches zero,
+    /// every lane is [`Done`](LaneStatus::Done) or
+    /// [`Faulted`](LaneStatus::Faulted).
+    pub fn step_all(&mut self) -> usize {
+        let mut stepped = 0;
+        for lane in &mut self.lanes {
+            if !lane.status.is_running() {
+                continue;
+            }
+            if lane.core.is_halted() || lane.core.budget_spent() >= self.budget {
+                lane.status = LaneStatus::Done(lane.core.run_result());
+                continue;
+            }
+            match lane
+                .core
+                .step_with(&mut lane.input, &mut lane.output, &mut lane.faults)
+            {
+                Ok(_) => stepped += 1,
+                Err(e) => lane.status = LaneStatus::Faulted(e),
+            }
+        }
+        stepped
+    }
+
+    /// Sweep until every lane is retired.
+    pub fn run_to_completion(&mut self) {
+        while self.step_all() > 0 {}
+    }
+
+    /// The lanes, in admission order.
+    #[must_use]
+    pub fn lanes(&self) -> &[Lane<I, O, F>] {
+        &self.lanes
+    }
+
+    /// Consume the driver, yielding the lanes in admission order.
+    #[must_use]
+    pub fn into_lanes(self) -> Vec<Lane<I, O, F>> {
+        self.lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{ConstInput, RecordingOutput, ScriptedInput};
+    use crate::isa::fc4::Instruction as I4;
+    use crate::isa::features::FeatureSet;
+    use crate::isa::Dialect;
+    use crate::program::Program;
+    use crate::sim::fault::{ArchFault, FaultKind, FaultPlane, StateElement};
+
+    fn fc4_program(insns: &[I4]) -> Program {
+        Program::from_bytes(insns.iter().map(|i| i.encode()).collect())
+    }
+
+    /// Echo input + 1 to the output port, then halt.
+    fn echo_plus_one() -> Program {
+        fc4_program(&[
+            I4::Load { addr: 0 },
+            I4::AddImm { imm: 1 },
+            I4::Store { addr: 1 },
+            I4::NandImm { imm: 0 },
+            I4::Branch { target: 4 },
+        ])
+    }
+
+    #[test]
+    fn batched_lanes_match_serial_runs() {
+        let program = echo_plus_one();
+        let mut driver = MultiCoreDriver::new(1_000);
+        for v in 0..4u8 {
+            driver.push(
+                AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, program.clone()),
+                ScriptedInput::new(vec![v]),
+                RecordingOutput::new(),
+                NoFaults,
+            );
+        }
+        driver.run_to_completion();
+        for (v, lane) in driver.into_lanes().into_iter().enumerate() {
+            let mut core = AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, program.clone());
+            let mut input = ScriptedInput::new(vec![v as u8]);
+            let mut output = RecordingOutput::new();
+            let serial = core.run(&mut input, &mut output, 1_000).unwrap();
+            assert_eq!(lane.status, LaneStatus::Done(serial));
+            assert_eq!(lane.output.values(), output.values());
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_retires_a_lane() {
+        // spin between two addresses: never the halt idiom
+        let program = fc4_program(&[I4::NandImm { imm: 0 }, I4::Branch { target: 0 }]);
+        let mut driver = MultiCoreDriver::new(50);
+        driver.push(
+            AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, program),
+            ConstInput::new(0),
+            RecordingOutput::new(),
+            NoFaults,
+        );
+        driver.run_to_completion();
+        match &driver.lanes()[0].status {
+            LaneStatus::Done(r) => {
+                assert!(!r.halted());
+                assert_eq!(r.cycles, 50);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_lane_does_not_stall_the_batch() {
+        let bad = fc4_program(&[I4::AddImm { imm: 1 }]); // falls off the end
+        let good = echo_plus_one();
+        let mut driver = MultiCoreDriver::new(1_000);
+        driver.push(
+            AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, bad),
+            ConstInput::new(0),
+            RecordingOutput::new(),
+            FaultPlane::new(),
+        );
+        driver.push(
+            AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, good),
+            ConstInput::new(2),
+            RecordingOutput::new(),
+            FaultPlane::new(),
+        );
+        driver.run_to_completion();
+        let lanes = driver.into_lanes();
+        assert!(matches!(
+            lanes[0].status,
+            LaneStatus::Faulted(SimError::FetchOutOfBounds { .. })
+        ));
+        match &lanes[1].status {
+            LaneStatus::Done(r) => assert!(r.halted()),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(lanes[1].output.values(), vec![3]);
+    }
+
+    #[test]
+    fn power_on_faults_apply_before_first_fetch() {
+        // PC stuck-at bit 1 on power-on redirects execution to the halt
+        // tail at address 2, skipping the store entirely.
+        let program = fc4_program(&[
+            I4::AddImm { imm: 5 },
+            I4::Store { addr: 1 },
+            I4::NandImm { imm: 0 },
+            I4::Branch { target: 3 },
+        ]);
+        let plane = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::Pc,
+            bit: 1,
+            kind: FaultKind::StuckAt1,
+        }]);
+        let mut driver = MultiCoreDriver::new(1_000);
+        driver.push(
+            AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, program.clone()),
+            ConstInput::new(0),
+            RecordingOutput::new(),
+            plane.clone(),
+        );
+        driver.run_to_completion();
+        let lanes = driver.into_lanes();
+
+        let mut core = AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, program);
+        let mut input = ConstInput::new(0);
+        let mut output = RecordingOutput::new();
+        let mut serial_plane = plane;
+        let serial = core
+            .run_with(&mut input, &mut output, 1_000, &mut serial_plane)
+            .unwrap();
+        assert_eq!(lanes[0].status, LaneStatus::Done(serial));
+        assert_eq!(lanes[0].output.values(), output.values());
+    }
+}

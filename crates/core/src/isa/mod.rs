@@ -120,6 +120,23 @@ impl Dialect {
             Dialect::LoadStore => 16,
         }
     }
+
+    /// Number of data-memory words (accumulator dialects) or registers
+    /// (load-store dialect), IO-mapped entries included.
+    #[must_use]
+    pub fn mem_words(self) -> u8 {
+        match self {
+            Dialect::Fc4 | Dialect::ExtendedAcc | Dialect::LoadStore => 8,
+            Dialect::Fc8 => 4,
+        }
+    }
+
+    /// Whether the dialect has a dedicated accumulator register (the
+    /// load-store dialect keeps all state in its register file).
+    #[must_use]
+    pub fn has_accumulator(self) -> bool {
+        !matches!(self, Dialect::LoadStore)
+    }
 }
 
 impl core::fmt::Display for Dialect {

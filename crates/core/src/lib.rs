@@ -54,6 +54,7 @@
 pub mod apps;
 pub mod energy;
 pub mod error;
+pub mod exec;
 pub mod io;
 pub mod isa;
 pub mod mmu;

@@ -149,6 +149,30 @@ pub trait FaultHook {
     }
 }
 
+impl<F: FaultHook> FaultHook for &mut F {
+    const ACTIVE: bool = F::ACTIVE;
+
+    #[inline]
+    fn on_fetch(&mut self, cycle: u64, byte: u8) -> u8 {
+        (**self).on_fetch(cycle, byte)
+    }
+
+    #[inline]
+    fn on_input(&mut self, cycle: u64, value: u8) -> u8 {
+        (**self).on_input(cycle, value)
+    }
+
+    #[inline]
+    fn on_output(&mut self, cycle: u64, value: u8) -> u8 {
+        (**self).on_output(cycle, value)
+    }
+
+    #[inline]
+    fn on_state(&mut self, cycle: u64, state: &mut ArchState<'_>) {
+        (**self).on_state(cycle, state);
+    }
+}
+
 /// The fault-free hook: every point is the identity and
 /// [`ACTIVE`](FaultHook::ACTIVE) is `false`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

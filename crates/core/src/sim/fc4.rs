@@ -5,32 +5,29 @@
 //! and 1 are the input and output buses. The off-chip
 //! `Mmu` (see [`crate::mmu`]) is simulated alongside, snooping the output
 //! port exactly as the external board does (§5.1).
+//!
+//! The step/run loop lives in [`crate::exec::Engine`]; this module
+//! contributes only the FlexiCore4 decode/execute semantics via the
+//! [`Core`] trait.
 
 use crate::error::SimError;
+use crate::exec::{Core, Engine, ExecState, Flow};
 use crate::io::{InputPort, OutputPort};
 use crate::isa::fc4::{Instruction, IPORT_ADDR, MEM_WORDS, OPORT_ADDR};
-use crate::mmu::Mmu;
 use crate::program::Program;
 use crate::sim::fault::{ArchState, FaultHook, NoFaults};
-use crate::sim::{RunResult, StopReason};
+use crate::sim::RunResult;
 use crate::trace::StepEvent;
 
 const WIDTH_MASK: u8 = 0xF;
-const PC_MASK: u8 = 0x7F;
 const SIGN_BIT: u8 = 0x8;
 
 /// A FlexiCore4 core plus its off-chip program memory and MMU.
 #[derive(Debug, Clone)]
 pub struct Fc4Core {
-    program: Program,
-    mmu: Mmu,
-    pc: u8,
+    exec: ExecState,
     acc: u8,
     mem: [u8; MEM_WORDS],
-    cycle: u64,
-    instructions: u64,
-    taken_branches: u64,
-    halted: bool,
 }
 
 impl Fc4Core {
@@ -38,42 +35,29 @@ impl Fc4Core {
     #[must_use]
     pub fn new(program: Program) -> Self {
         Fc4Core {
-            program,
-            mmu: Mmu::new(),
-            pc: 0,
+            exec: ExecState::new(program),
             acc: 0,
             mem: [0; MEM_WORDS],
-            cycle: 0,
-            instructions: 0,
-            taken_branches: 0,
-            halted: false,
         }
     }
 
     /// Reset architectural state (keeps the program image — this is what
     /// power-cycling a field-programmed chip does).
     pub fn reset(&mut self) {
-        self.mmu = Mmu::new();
-        self.pc = 0;
-        self.acc = 0;
-        self.mem = [0; MEM_WORDS];
-        self.cycle = 0;
-        self.instructions = 0;
-        self.taken_branches = 0;
-        self.halted = false;
+        let program = core::mem::take(&mut self.exec.program);
+        *self = Fc4Core::new(program);
     }
 
     /// Replace the external program memory and reset — *field
     /// reprogramming*.
     pub fn reprogram(&mut self, program: Program) {
-        self.program = program;
-        self.reset();
+        *self = Fc4Core::new(program);
     }
 
     /// Current program counter (7 bits, in-page).
     #[must_use]
     pub fn pc(&self) -> u8 {
-        self.pc
+        self.exec.pc
     }
 
     /// Current accumulator value.
@@ -82,45 +66,41 @@ impl Fc4Core {
         self.acc
     }
 
-    /// The data-memory word at `addr` (0..8). Addresses 0/1 return the
-    /// backing latches, not live bus values.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr >= 8`.
+    /// The data-memory word at `addr`, or `None` when `addr >= 8`.
+    /// Addresses 0/1 return the backing latches, not live bus values.
     #[must_use]
-    pub fn mem(&self, addr: u8) -> u8 {
-        self.mem[usize::from(addr)]
+    pub fn mem(&self, addr: u8) -> Option<u8> {
+        self.mem.get(usize::from(addr)).copied()
     }
 
     /// Elapsed clock cycles.
     #[must_use]
     pub fn cycles(&self) -> u64 {
-        self.cycle
+        self.exec.cycle
     }
 
     /// Retired instruction count.
     #[must_use]
     pub fn instructions(&self) -> u64 {
-        self.instructions
+        self.exec.instructions
     }
 
     /// Whether the halt idiom has been reached.
     #[must_use]
     pub fn is_halted(&self) -> bool {
-        self.halted
+        self.exec.halted
     }
 
     /// The currently selected MMU page.
     #[must_use]
     pub fn page(&self) -> u8 {
-        self.mmu.page()
+        self.exec.mmu.page()
     }
 
     /// The loaded program image.
     #[must_use]
     pub fn program(&self) -> &Program {
-        &self.program
+        &self.exec.program
     }
 
     fn read_operand<I: InputPort, F: FaultHook>(
@@ -130,9 +110,9 @@ impl Fc4Core {
         faults: &mut F,
     ) -> u8 {
         if addr == IPORT_ADDR {
-            let v = input.read(self.cycle) & WIDTH_MASK;
+            let v = input.read(self.exec.cycle) & WIDTH_MASK;
             if F::ACTIVE {
-                faults.on_input(self.cycle, v) & WIDTH_MASK
+                faults.on_input(self.exec.cycle, v) & WIDTH_MASK
             } else {
                 v
             }
@@ -173,104 +153,7 @@ impl Fc4Core {
         O: OutputPort,
         F: FaultHook,
     {
-        self.mmu.tick();
-        let address = self.mmu.extend(self.pc);
-        let mut byte = self
-            .program
-            .fetch(address)
-            .ok_or(SimError::FetchOutOfBounds {
-                address,
-                program_len: self.program.len(),
-            })?;
-        if F::ACTIVE {
-            byte = faults.on_fetch(self.cycle, byte);
-        }
-        let insn = Instruction::decode(byte).map_err(|_| SimError::IllegalInstruction {
-            raw: byte.into(),
-            address,
-        })?;
-
-        let start_cycle = self.cycle;
-        let mut taken = false;
-        let mut next_pc = (self.pc + 1) & PC_MASK;
-
-        match insn {
-            Instruction::AddImm { imm } => {
-                self.acc = self.acc.wrapping_add(imm) & WIDTH_MASK;
-            }
-            Instruction::NandImm { imm } => {
-                self.acc = !(self.acc & imm) & WIDTH_MASK;
-            }
-            Instruction::XorImm { imm } => {
-                self.acc = (self.acc ^ imm) & WIDTH_MASK;
-            }
-            Instruction::AddMem { src } => {
-                let v = self.read_operand(src, input, faults);
-                self.acc = self.acc.wrapping_add(v) & WIDTH_MASK;
-            }
-            Instruction::NandMem { src } => {
-                let v = self.read_operand(src, input, faults);
-                self.acc = !(self.acc & v) & WIDTH_MASK;
-            }
-            Instruction::XorMem { src } => {
-                let v = self.read_operand(src, input, faults);
-                self.acc = (self.acc ^ v) & WIDTH_MASK;
-            }
-            Instruction::Load { addr } => {
-                self.acc = self.read_operand(addr, input, faults);
-            }
-            Instruction::Store { addr } => {
-                if addr != IPORT_ADDR {
-                    self.mem[usize::from(addr & 0x7)] = self.acc;
-                }
-                if addr == OPORT_ADDR {
-                    let driven = if F::ACTIVE {
-                        faults.on_output(self.cycle, self.acc) & WIDTH_MASK
-                    } else {
-                        self.acc
-                    };
-                    output.write(self.cycle, driven);
-                    self.mmu.observe(driven);
-                }
-            }
-            Instruction::Branch { target } => {
-                if self.acc & SIGN_BIT != 0 {
-                    taken = true;
-                    if target == self.pc {
-                        self.halted = true;
-                    }
-                    next_pc = target;
-                }
-            }
-        }
-
-        self.pc = next_pc;
-        self.cycle += 1;
-        self.instructions += 1;
-        if taken {
-            self.taken_branches += 1;
-        }
-        if F::ACTIVE {
-            faults.on_state(
-                self.cycle,
-                &mut ArchState {
-                    pc: &mut self.pc,
-                    acc: Some(&mut self.acc),
-                    mem: &mut self.mem,
-                    data_mask: WIDTH_MASK,
-                },
-            );
-        }
-
-        Ok(StepEvent {
-            cycle: start_cycle,
-            address,
-            next_pc: self.pc,
-            acc: self.acc,
-            cycles: 1,
-            taken_branch: taken,
-            halted: self.halted,
-        })
+        Engine::with_faults(&mut *self, faults).step(input, output)
     }
 
     /// Run until the halt idiom or until `max_cycles` elapse.
@@ -310,31 +193,102 @@ impl Fc4Core {
         O: OutputPort,
         F: FaultHook,
     {
-        if F::ACTIVE {
-            faults.on_state(
-                self.cycle,
-                &mut ArchState {
-                    pc: &mut self.pc,
-                    acc: Some(&mut self.acc),
-                    mem: &mut self.mem,
-                    data_mask: WIDTH_MASK,
-                },
-            );
+        Engine::with_faults(&mut *self, faults).run(input, output, max_cycles)
+    }
+}
+
+impl Core for Fc4Core {
+    type Insn = Instruction;
+    const FETCH_WINDOW: usize = 1;
+
+    #[inline]
+    fn state(&self) -> &ExecState {
+        &self.exec
+    }
+
+    #[inline]
+    fn state_mut(&mut self) -> &mut ExecState {
+        &mut self.exec
+    }
+
+    #[inline]
+    fn decode(&self, window: &[u8], address: u32) -> Result<(Instruction, u8), SimError> {
+        let byte = window[0];
+        let insn = Instruction::decode(byte).map_err(|_| SimError::IllegalInstruction {
+            raw: byte.into(),
+            address,
+        })?;
+        Ok((insn, 1))
+    }
+
+    #[inline]
+    fn execute<I: InputPort, O: OutputPort, F: FaultHook>(
+        &mut self,
+        insn: Instruction,
+        input: &mut I,
+        output: &mut O,
+        faults: &mut F,
+    ) -> Flow {
+        match insn {
+            Instruction::AddImm { imm } => {
+                self.acc = self.acc.wrapping_add(imm) & WIDTH_MASK;
+            }
+            Instruction::NandImm { imm } => {
+                self.acc = !(self.acc & imm) & WIDTH_MASK;
+            }
+            Instruction::XorImm { imm } => {
+                self.acc = (self.acc ^ imm) & WIDTH_MASK;
+            }
+            Instruction::AddMem { src } => {
+                let v = self.read_operand(src, input, faults);
+                self.acc = self.acc.wrapping_add(v) & WIDTH_MASK;
+            }
+            Instruction::NandMem { src } => {
+                let v = self.read_operand(src, input, faults);
+                self.acc = !(self.acc & v) & WIDTH_MASK;
+            }
+            Instruction::XorMem { src } => {
+                let v = self.read_operand(src, input, faults);
+                self.acc = (self.acc ^ v) & WIDTH_MASK;
+            }
+            Instruction::Load { addr } => {
+                self.acc = self.read_operand(addr, input, faults);
+            }
+            Instruction::Store { addr } => {
+                if addr != IPORT_ADDR {
+                    self.mem[usize::from(addr & 0x7)] = self.acc;
+                }
+                if addr == OPORT_ADDR {
+                    let driven = if F::ACTIVE {
+                        faults.on_output(self.exec.cycle, self.acc) & WIDTH_MASK
+                    } else {
+                        self.acc
+                    };
+                    output.write(self.exec.cycle, driven);
+                    self.exec.mmu.observe(driven);
+                }
+            }
+            Instruction::Branch { target } => {
+                if self.acc & SIGN_BIT != 0 {
+                    return Flow::Jump { target };
+                }
+            }
         }
-        while !self.halted && self.cycle < max_cycles {
-            self.step_with(input, output, faults)?;
+        Flow::Sequential
+    }
+
+    fn arch_state(&mut self) -> ArchState<'_> {
+        ArchState {
+            pc: &mut self.exec.pc,
+            acc: Some(&mut self.acc),
+            mem: &mut self.mem,
+            data_mask: WIDTH_MASK,
         }
-        Ok(RunResult {
-            cycles: self.cycle,
-            instructions: self.instructions,
-            taken_branches: self.taken_branches,
-            fetched_bytes: self.instructions,
-            stop: if self.halted {
-                StopReason::Halted
-            } else {
-                StopReason::CycleLimit
-            },
-        })
+    }
+
+    #[inline]
+    fn event_acc(&self) -> u8 {
+        self.acc
     }
 }
 
@@ -343,6 +297,7 @@ mod tests {
     use super::*;
     use crate::io::{ConstInput, NullOutput, RecordingOutput, ScriptedInput};
     use crate::isa::fc4::Instruction as I;
+    use crate::sim::StopReason;
 
     fn assemble(insns: &[I]) -> Program {
         Program::from_bytes(insns.iter().map(|i| i.encode()).collect())
@@ -369,7 +324,7 @@ mod tests {
             .run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
             .unwrap();
         assert!(r.halted());
-        assert_eq!(core.mem(2), 2); // 18 mod 16
+        assert_eq!(core.mem(2), Some(2)); // 18 mod 16
     }
 
     #[test]
@@ -417,7 +372,7 @@ mod tests {
         let mut core = Fc4Core::new(assemble(&prog));
         core.run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
             .unwrap();
-        assert_eq!(core.mem(3), 5);
+        assert_eq!(core.mem(3), Some(5));
         assert_eq!(core.acc(), 0xF, "final NAND result, after reload was 5");
     }
 
@@ -434,7 +389,7 @@ mod tests {
         // input reads 2; the store to address 0 must not shadow the bus
         core.run(&mut ConstInput::new(2), &mut NullOutput::new(), 100)
             .unwrap();
-        assert_eq!(core.mem(3), 2);
+        assert_eq!(core.mem(3), Some(2));
     }
 
     #[test]
@@ -450,7 +405,7 @@ mod tests {
         let mut core = Fc4Core::new(assemble(&prog));
         core.run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
             .unwrap();
-        assert_eq!(core.mem(2), 6);
+        assert_eq!(core.mem(2), Some(6));
     }
 
     #[test]
@@ -548,6 +503,13 @@ mod tests {
         core.run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
             .unwrap();
         assert_eq!(core.acc(), 0xF, "halt tail NANDs to 0xF");
-        assert_eq!(core.mem(2), 0);
+        assert_eq!(core.mem(2), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_mem_access_is_none() {
+        let core = Fc4Core::new(assemble(&[I::AddImm { imm: 1 }]));
+        assert_eq!(core.mem(7), Some(0));
+        assert_eq!(core.mem(8), None);
     }
 }

@@ -5,32 +5,29 @@
 //! immediates sign-extended to the datapath, and the two-byte `LOAD BYTE`
 //! instruction, whose second fetch costs an extra clock cycle (the single
 //! stateful bit in FlexiCore8's controller, §3.4).
+//!
+//! The step/run loop lives in [`crate::exec::Engine`]; this module
+//! contributes only the FlexiCore8 decode/execute semantics via the
+//! [`Core`] trait.
 
 use crate::error::SimError;
+use crate::exec::{Core, Engine, ExecState, Flow};
 use crate::io::{InputPort, OutputPort};
 use crate::isa::fc8::{Instruction, IPORT_ADDR, MEM_WORDS, OPORT_ADDR};
 use crate::isa::sign_extend;
-use crate::mmu::Mmu;
 use crate::program::Program;
 use crate::sim::fault::{ArchState, FaultHook, NoFaults};
-use crate::sim::{RunResult, StopReason};
+use crate::sim::RunResult;
 use crate::trace::StepEvent;
 
-const PC_MASK: u8 = 0x7F;
 const SIGN_BIT: u8 = 0x80;
 
 /// A FlexiCore8 core plus its off-chip program memory and MMU.
 #[derive(Debug, Clone)]
 pub struct Fc8Core {
-    program: Program,
-    mmu: Mmu,
-    pc: u8,
+    exec: ExecState,
     acc: u8,
     mem: [u8; MEM_WORDS],
-    cycle: u64,
-    instructions: u64,
-    taken_branches: u64,
-    halted: bool,
 }
 
 impl Fc8Core {
@@ -38,21 +35,15 @@ impl Fc8Core {
     #[must_use]
     pub fn new(program: Program) -> Self {
         Fc8Core {
-            program,
-            mmu: Mmu::new(),
-            pc: 0,
+            exec: ExecState::new(program),
             acc: 0,
             mem: [0; MEM_WORDS],
-            cycle: 0,
-            instructions: 0,
-            taken_branches: 0,
-            halted: false,
         }
     }
 
     /// Reset architectural state, keeping the program image.
     pub fn reset(&mut self) {
-        let program = core::mem::take(&mut self.program);
+        let program = core::mem::take(&mut self.exec.program);
         *self = Fc8Core::new(program);
     }
 
@@ -64,7 +55,7 @@ impl Fc8Core {
     /// Current program counter (7 bits, in-page).
     #[must_use]
     pub fn pc(&self) -> u8 {
-        self.pc
+        self.exec.pc
     }
 
     /// Current accumulator value.
@@ -73,44 +64,40 @@ impl Fc8Core {
         self.acc
     }
 
-    /// The data-memory word at `addr` (0..4).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr >= 4`.
+    /// The data-memory word at `addr`, or `None` when `addr >= 4`.
     #[must_use]
-    pub fn mem(&self, addr: u8) -> u8 {
-        self.mem[usize::from(addr)]
+    pub fn mem(&self, addr: u8) -> Option<u8> {
+        self.mem.get(usize::from(addr)).copied()
     }
 
     /// Elapsed clock cycles (LOAD BYTE counts two).
     #[must_use]
     pub fn cycles(&self) -> u64 {
-        self.cycle
+        self.exec.cycle
     }
 
     /// Retired instruction count.
     #[must_use]
     pub fn instructions(&self) -> u64 {
-        self.instructions
+        self.exec.instructions
     }
 
     /// Whether the halt idiom has been reached.
     #[must_use]
     pub fn is_halted(&self) -> bool {
-        self.halted
+        self.exec.halted
     }
 
     /// The currently selected MMU page.
     #[must_use]
     pub fn page(&self) -> u8 {
-        self.mmu.page()
+        self.exec.mmu.page()
     }
 
     /// The loaded program image.
     #[must_use]
     pub fn program(&self) -> &Program {
-        &self.program
+        &self.exec.program
     }
 
     fn read_operand<I: InputPort, F: FaultHook>(
@@ -120,9 +107,9 @@ impl Fc8Core {
         faults: &mut F,
     ) -> u8 {
         if addr == IPORT_ADDR {
-            let v = input.read(self.cycle);
+            let v = input.read(self.exec.cycle);
             if F::ACTIVE {
-                faults.on_input(self.cycle, v)
+                faults.on_input(self.exec.cycle, v)
             } else {
                 v
             }
@@ -163,118 +150,7 @@ impl Fc8Core {
         O: OutputPort,
         F: FaultHook,
     {
-        self.mmu.tick();
-        let address = self.mmu.extend(self.pc);
-        let window = self.program.window(address);
-        if window.is_empty() {
-            return Err(SimError::FetchOutOfBounds {
-                address,
-                program_len: self.program.len(),
-            });
-        }
-        let mut fetch_buf = [0u8; 2];
-        let window: &[u8] = if F::ACTIVE {
-            let n = window.len().min(2);
-            for (i, b) in window[..n].iter().enumerate() {
-                fetch_buf[i] = faults.on_fetch(self.cycle + i as u64, *b);
-            }
-            &fetch_buf[..n]
-        } else {
-            window
-        };
-        let (insn, len) = Instruction::decode(window).map_err(|e| match e {
-            crate::error::DecodeError::NeedsSecondByte { .. } => {
-                SimError::TruncatedInstruction { address }
-            }
-            crate::error::DecodeError::Illegal { raw } => {
-                SimError::IllegalInstruction { raw, address }
-            }
-        })?;
-
-        let start_cycle = self.cycle;
-        let mut taken = false;
-        let mut next_pc = (self.pc + len as u8) & PC_MASK;
-
-        match insn {
-            Instruction::AddImm { imm } => {
-                self.acc = self.acc.wrapping_add(sign_extend(imm, 4) as u8);
-            }
-            Instruction::NandImm { imm } => {
-                self.acc = !(self.acc & (sign_extend(imm, 4) as u8));
-            }
-            Instruction::XorImm { imm } => {
-                self.acc ^= sign_extend(imm, 4) as u8;
-            }
-            Instruction::AddMem { src } => {
-                let v = self.read_operand(src, input, faults);
-                self.acc = self.acc.wrapping_add(v);
-            }
-            Instruction::NandMem { src } => {
-                let v = self.read_operand(src, input, faults);
-                self.acc = !(self.acc & v);
-            }
-            Instruction::XorMem { src } => {
-                let v = self.read_operand(src, input, faults);
-                self.acc ^= v;
-            }
-            Instruction::Load { addr } => {
-                self.acc = self.read_operand(addr, input, faults);
-            }
-            Instruction::Store { addr } => {
-                if addr != IPORT_ADDR {
-                    self.mem[usize::from(addr & 0x3)] = self.acc;
-                }
-                if addr == OPORT_ADDR {
-                    let driven = if F::ACTIVE {
-                        faults.on_output(self.cycle, self.acc)
-                    } else {
-                        self.acc
-                    };
-                    output.write(self.cycle, driven);
-                    self.mmu.observe(driven);
-                }
-            }
-            Instruction::LoadByte { imm } => {
-                self.acc = imm;
-            }
-            Instruction::Branch { target } => {
-                if self.acc & SIGN_BIT != 0 {
-                    taken = true;
-                    if target == self.pc {
-                        self.halted = true;
-                    }
-                    next_pc = target;
-                }
-            }
-        }
-
-        self.pc = next_pc;
-        self.cycle += len as u64;
-        self.instructions += 1;
-        if taken {
-            self.taken_branches += 1;
-        }
-        if F::ACTIVE {
-            faults.on_state(
-                self.cycle,
-                &mut ArchState {
-                    pc: &mut self.pc,
-                    acc: Some(&mut self.acc),
-                    mem: &mut self.mem,
-                    data_mask: 0xFF,
-                },
-            );
-        }
-
-        Ok(StepEvent {
-            cycle: start_cycle,
-            address,
-            next_pc: self.pc,
-            acc: self.acc,
-            cycles: len as u64,
-            taken_branch: taken,
-            halted: self.halted,
-        })
+        Engine::with_faults(&mut *self, faults).step(input, output)
     }
 
     /// Run until the halt idiom or until `max_cycles` elapse.
@@ -314,31 +190,113 @@ impl Fc8Core {
         O: OutputPort,
         F: FaultHook,
     {
-        if F::ACTIVE {
-            faults.on_state(
-                self.cycle,
-                &mut ArchState {
-                    pc: &mut self.pc,
-                    acc: Some(&mut self.acc),
-                    mem: &mut self.mem,
-                    data_mask: 0xFF,
-                },
-            );
+        Engine::with_faults(&mut *self, faults).run(input, output, max_cycles)
+    }
+}
+
+impl Core for Fc8Core {
+    type Insn = Instruction;
+    const FETCH_WINDOW: usize = 2;
+
+    #[inline]
+    fn state(&self) -> &ExecState {
+        &self.exec
+    }
+
+    #[inline]
+    fn state_mut(&mut self) -> &mut ExecState {
+        &mut self.exec
+    }
+
+    #[inline]
+    fn decode(&self, window: &[u8], address: u32) -> Result<(Instruction, u8), SimError> {
+        let (insn, len) = Instruction::decode(window).map_err(|e| match e {
+            crate::error::DecodeError::NeedsSecondByte { .. } => {
+                SimError::TruncatedInstruction { address }
+            }
+            crate::error::DecodeError::Illegal { raw } => {
+                SimError::IllegalInstruction { raw, address }
+            }
+        })?;
+        Ok((insn, len as u8))
+    }
+
+    #[inline]
+    fn execute<I: InputPort, O: OutputPort, F: FaultHook>(
+        &mut self,
+        insn: Instruction,
+        input: &mut I,
+        output: &mut O,
+        faults: &mut F,
+    ) -> Flow {
+        match insn {
+            Instruction::AddImm { imm } => {
+                self.acc = self.acc.wrapping_add(sign_extend(imm, 4) as u8);
+            }
+            Instruction::NandImm { imm } => {
+                self.acc = !(self.acc & (sign_extend(imm, 4) as u8));
+            }
+            Instruction::XorImm { imm } => {
+                self.acc ^= sign_extend(imm, 4) as u8;
+            }
+            Instruction::AddMem { src } => {
+                let v = self.read_operand(src, input, faults);
+                self.acc = self.acc.wrapping_add(v);
+            }
+            Instruction::NandMem { src } => {
+                let v = self.read_operand(src, input, faults);
+                self.acc = !(self.acc & v);
+            }
+            Instruction::XorMem { src } => {
+                let v = self.read_operand(src, input, faults);
+                self.acc ^= v;
+            }
+            Instruction::Load { addr } => {
+                self.acc = self.read_operand(addr, input, faults);
+            }
+            Instruction::Store { addr } => {
+                if addr != IPORT_ADDR {
+                    self.mem[usize::from(addr & 0x3)] = self.acc;
+                }
+                if addr == OPORT_ADDR {
+                    let driven = if F::ACTIVE {
+                        faults.on_output(self.exec.cycle, self.acc)
+                    } else {
+                        self.acc
+                    };
+                    output.write(self.exec.cycle, driven);
+                    self.exec.mmu.observe(driven);
+                }
+            }
+            Instruction::LoadByte { imm } => {
+                self.acc = imm;
+            }
+            Instruction::Branch { target } => {
+                if self.acc & SIGN_BIT != 0 {
+                    return Flow::Jump { target };
+                }
+            }
         }
-        while !self.halted && self.cycle < max_cycles {
-            self.step_with(input, output, faults)?;
+        Flow::Sequential
+    }
+
+    #[inline]
+    fn insn_cycles(len: u8) -> u64 {
+        u64::from(len)
+    }
+
+    fn arch_state(&mut self) -> ArchState<'_> {
+        ArchState {
+            pc: &mut self.exec.pc,
+            acc: Some(&mut self.acc),
+            mem: &mut self.mem,
+            data_mask: 0xFF,
         }
-        Ok(RunResult {
-            cycles: self.cycle,
-            instructions: self.instructions,
-            taken_branches: self.taken_branches,
-            fetched_bytes: self.cycle,
-            stop: if self.halted {
-                StopReason::Halted
-            } else {
-                StopReason::CycleLimit
-            },
-        })
+    }
+
+    #[inline]
+    fn event_acc(&self) -> u8 {
+        self.acc
     }
 }
 
@@ -369,7 +327,7 @@ mod tests {
             .run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
             .unwrap();
         assert!(r.halted());
-        assert_eq!(core.mem(2), 0xAB);
+        assert_eq!(core.mem(2), Some(0xAB));
         // 2 + 1 + 2 + 1 cycles
         assert_eq!(r.cycles, 6);
         assert_eq!(r.instructions, 4);
@@ -387,7 +345,7 @@ mod tests {
         let mut core = Fc8Core::new(prog);
         core.run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
             .unwrap();
-        assert_eq!(core.mem(2), 0x0D);
+        assert_eq!(core.mem(2), Some(0x0D));
     }
 
     #[test]
@@ -444,7 +402,8 @@ mod tests {
         let mut core = Fc8Core::new(prog);
         core.run(&mut ConstInput::new(0), &mut NullOutput::new(), 100)
             .unwrap();
-        assert_eq!(core.mem(3), 0x42);
-        assert_eq!(core.mem(2), 0);
+        assert_eq!(core.mem(3), Some(0x42));
+        assert_eq!(core.mem(2), Some(0));
+        assert_eq!(core.mem(4), None);
     }
 }

@@ -4,7 +4,13 @@
 //! its architectural state; [`step`](fc4::Fc4Core::step) executes one
 //! instruction against a pair of IO ports, and `run` iterates until the
 //! *halt idiom* — a taken control transfer to its own address — or a cycle
-//! budget expires.
+//! budget expires. The loop itself lives in exactly one place,
+//! [`crate::exec::Engine`]: each simulator here contributes only decode
+//! and execute semantics (via [`crate::exec::Core`]) and forwards its
+//! public `step`/`run` API to the engine. Consumers that need runtime
+//! dialect dispatch use [`crate::exec::AnyCore`] instead of matching on
+//! the dialect, and batch work rides
+//! [`crate::exec::MultiCoreDriver`].
 //!
 //! The halt idiom matches what programs on the physical chips do: FlexiCores
 //! have no `HALT` instruction, so a finished program spins on a

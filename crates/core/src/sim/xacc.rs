@@ -16,39 +16,35 @@
 //! [`uarch`](crate::uarch) module turns retired-instruction, fetched-byte
 //! and taken-branch counts into clock cycles for a concrete
 //! microarchitecture and program-bus width.
+//!
+//! The step/run loop lives in [`crate::exec::Engine`]; this module
+//! contributes only the extended-accumulator decode/execute semantics via
+//! the [`Core`] trait.
 
 use crate::error::SimError;
+use crate::exec::{Core, Engine, ExecState, Flow, PC_MASK};
 use crate::io::{InputPort, OutputPort};
 use crate::isa::features::FeatureSet;
 use crate::isa::sign_extend;
 use crate::isa::xacc::{Instruction, IPORT_ADDR, OPORT_ADDR};
-use crate::mmu::Mmu;
 use crate::program::Program;
 use crate::sim::fault::{ArchState, FaultHook, NoFaults};
-use crate::sim::{RunResult, StopReason};
+use crate::sim::RunResult;
 use crate::trace::StepEvent;
 
 const WIDTH: u32 = 4;
 const WIDTH_MASK: u8 = 0xF;
-const PC_MASK: u8 = 0x7F;
 const MEM_WORDS: usize = 8;
 
 /// An extended-accumulator core with a given feature configuration.
 #[derive(Debug, Clone)]
 pub struct XaccCore {
     features: FeatureSet,
-    program: Program,
-    mmu: Mmu,
-    pc: u8,
+    exec: ExecState,
     acc: u8,
     carry: bool,
     ra: u8,
     mem: [u8; MEM_WORDS],
-    cycle: u64,
-    instructions: u64,
-    taken_branches: u64,
-    fetched_bytes: u64,
-    halted: bool,
 }
 
 impl XaccCore {
@@ -57,25 +53,18 @@ impl XaccCore {
     pub fn new(features: FeatureSet, program: Program) -> Self {
         XaccCore {
             features,
-            program,
-            mmu: Mmu::new(),
-            pc: 0,
+            exec: ExecState::new(program),
             acc: 0,
             carry: false,
             ra: 0,
             mem: [0; MEM_WORDS],
-            cycle: 0,
-            instructions: 0,
-            taken_branches: 0,
-            fetched_bytes: 0,
-            halted: false,
         }
     }
 
     /// Reset architectural state, keeping program and features.
     pub fn reset(&mut self) {
         let features = self.features;
-        let program = core::mem::take(&mut self.program);
+        let program = core::mem::take(&mut self.exec.program);
         *self = XaccCore::new(features, program);
     }
 
@@ -88,7 +77,7 @@ impl XaccCore {
     /// Current program counter.
     #[must_use]
     pub fn pc(&self) -> u8 {
-        self.pc
+        self.exec.pc
     }
 
     /// Current accumulator value.
@@ -103,26 +92,40 @@ impl XaccCore {
         self.carry
     }
 
-    /// The data-memory word at `addr` (0..8).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr >= 8`.
+    /// The data-memory word at `addr`, or `None` when `addr >= 8`.
     #[must_use]
-    pub fn mem(&self, addr: u8) -> u8 {
-        self.mem[usize::from(addr)]
+    pub fn mem(&self, addr: u8) -> Option<u8> {
+        self.mem.get(usize::from(addr)).copied()
     }
 
     /// Whether the halt idiom has been reached.
     #[must_use]
     pub fn is_halted(&self) -> bool {
-        self.halted
+        self.exec.halted
     }
 
-    /// Retired instruction count.
+    /// Retired instruction count (also the ISA-level cycle count).
     #[must_use]
     pub fn instructions(&self) -> u64 {
-        self.instructions
+        self.exec.instructions
+    }
+
+    /// Elapsed ISA-level cycles (one per retired instruction).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.exec.cycle
+    }
+
+    /// The currently selected MMU page.
+    #[must_use]
+    pub fn page(&self) -> u8 {
+        self.exec.mmu.page()
+    }
+
+    /// The loaded program image.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.exec.program
     }
 
     fn read_operand<I: InputPort, F: FaultHook>(
@@ -132,9 +135,9 @@ impl XaccCore {
         faults: &mut F,
     ) -> u8 {
         if addr == IPORT_ADDR {
-            let v = input.read(self.cycle) & WIDTH_MASK;
+            let v = input.read(self.exec.cycle) & WIDTH_MASK;
             if F::ACTIVE {
-                faults.on_input(self.cycle, v) & WIDTH_MASK
+                faults.on_input(self.exec.cycle, v) & WIDTH_MASK
             } else {
                 v
             }
@@ -155,12 +158,12 @@ impl XaccCore {
         }
         if addr == OPORT_ADDR {
             let driven = if F::ACTIVE {
-                faults.on_output(self.cycle, value) & WIDTH_MASK
+                faults.on_output(self.exec.cycle, value) & WIDTH_MASK
             } else {
                 value
             };
-            output.write(self.cycle, driven);
-            self.mmu.observe(driven);
+            output.write(self.exec.cycle, driven);
+            self.exec.mmu.observe(driven);
         }
     }
 
@@ -210,25 +213,66 @@ impl XaccCore {
         O: OutputPort,
         F: FaultHook,
     {
-        self.mmu.tick();
-        let address = self.mmu.extend(self.pc);
-        let window = self.program.window(address);
-        if window.is_empty() {
-            return Err(SimError::FetchOutOfBounds {
-                address,
-                program_len: self.program.len(),
-            });
-        }
-        let mut fetch_buf = [0u8; 2];
-        let window: &[u8] = if F::ACTIVE {
-            let n = window.len().min(2);
-            for (i, b) in window[..n].iter().enumerate() {
-                fetch_buf[i] = faults.on_fetch(self.cycle + i as u64, *b);
-            }
-            &fetch_buf[..n]
-        } else {
-            window
-        };
+        Engine::with_faults(&mut *self, faults).step(input, output)
+    }
+
+    /// Run until the halt idiom or until `max_steps` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`XaccCore::step`].
+    pub fn run<I, O>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        max_steps: u64,
+    ) -> Result<RunResult, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+    {
+        self.run_with(input, output, max_steps, &mut NoFaults)
+    }
+
+    /// [`run`](XaccCore::run) with a fault-injection hook. State faults
+    /// are applied once before the first fetch (a stuck power-on bit)
+    /// and after every retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`XaccCore::step_with`].
+    pub fn run_with<I, O, F>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        max_steps: u64,
+        faults: &mut F,
+    ) -> Result<RunResult, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+        F: FaultHook,
+    {
+        Engine::with_faults(&mut *self, faults).run(input, output, max_steps)
+    }
+}
+
+impl Core for XaccCore {
+    type Insn = Instruction;
+    const FETCH_WINDOW: usize = 2;
+
+    #[inline]
+    fn state(&self) -> &ExecState {
+        &self.exec
+    }
+
+    #[inline]
+    fn state_mut(&mut self) -> &mut ExecState {
+        &mut self.exec
+    }
+
+    #[inline]
+    fn decode(&self, window: &[u8], address: u32) -> Result<(Instruction, u8), SimError> {
         let (insn, len) = Instruction::decode(window).map_err(|e| match e {
             crate::error::DecodeError::NeedsSecondByte { .. } => {
                 SimError::TruncatedInstruction { address }
@@ -243,11 +287,17 @@ impl XaccCore {
                 address,
             });
         }
+        Ok((insn, len as u8))
+    }
 
-        let start_cycle = self.cycle;
-        let mut taken = false;
-        let mut next_pc = (self.pc + len as u8) & PC_MASK;
-
+    #[inline]
+    fn execute<I: InputPort, O: OutputPort, F: FaultHook>(
+        &mut self,
+        insn: Instruction,
+        input: &mut I,
+        output: &mut O,
+        faults: &mut F,
+    ) -> Flow {
         match insn {
             Instruction::Add { m } => {
                 let v = self.read_operand(m, input, faults);
@@ -357,126 +407,40 @@ impl XaccCore {
             }
             Instruction::Br { cond, target } => {
                 if cond.taken(self.acc, WIDTH) {
-                    taken = true;
-                    if target == self.pc {
-                        self.halted = true;
-                    }
-                    next_pc = target;
+                    return Flow::Jump { target };
                 }
             }
             Instruction::Call { target } => {
-                taken = true;
-                self.ra = (self.pc + 2) & PC_MASK;
-                if target == self.pc {
-                    self.halted = true;
-                }
-                next_pc = target;
+                self.ra = (self.exec.pc + 2) & PC_MASK;
+                return Flow::Jump { target };
             }
             Instruction::Ret => {
-                taken = true;
-                next_pc = self.ra;
-                if next_pc == self.pc {
-                    self.halted = true;
-                }
+                return Flow::Jump { target: self.ra };
             }
         }
-
-        self.pc = next_pc;
-        self.cycle += 1;
-        self.instructions += 1;
-        self.fetched_bytes += len as u64;
-        if taken {
-            self.taken_branches += 1;
-        }
-        if F::ACTIVE {
-            faults.on_state(
-                self.cycle,
-                &mut ArchState {
-                    pc: &mut self.pc,
-                    acc: Some(&mut self.acc),
-                    mem: &mut self.mem,
-                    data_mask: WIDTH_MASK,
-                },
-            );
-        }
-
-        Ok(StepEvent {
-            cycle: start_cycle,
-            address,
-            next_pc: self.pc,
-            acc: self.acc,
-            cycles: 1,
-            taken_branch: taken,
-            halted: self.halted,
-        })
+        Flow::Sequential
     }
 
-    /// Run until the halt idiom or until `max_steps` instructions retire.
-    ///
-    /// # Errors
-    ///
-    /// Propagates any error from [`XaccCore::step`].
-    pub fn run<I, O>(
-        &mut self,
-        input: &mut I,
-        output: &mut O,
-        max_steps: u64,
-    ) -> Result<RunResult, SimError>
-    where
-        I: InputPort,
-        O: OutputPort,
-    {
-        self.run_with(input, output, max_steps, &mut NoFaults)
+    #[inline]
+    fn budget_spent(state: &ExecState) -> u64 {
+        state.instructions
     }
 
-    /// [`run`](XaccCore::run) with a fault-injection hook. State faults
-    /// are applied once before the first fetch (a stuck power-on bit)
-    /// and after every retired instruction.
-    ///
-    /// # Errors
-    ///
-    /// Propagates any error from [`XaccCore::step_with`].
-    pub fn run_with<I, O, F>(
-        &mut self,
-        input: &mut I,
-        output: &mut O,
-        max_steps: u64,
-        faults: &mut F,
-    ) -> Result<RunResult, SimError>
-    where
-        I: InputPort,
-        O: OutputPort,
-        F: FaultHook,
-    {
-        if F::ACTIVE {
-            faults.on_state(
-                self.cycle,
-                &mut ArchState {
-                    pc: &mut self.pc,
-                    acc: Some(&mut self.acc),
-                    mem: &mut self.mem,
-                    data_mask: WIDTH_MASK,
-                },
-            );
+    fn arch_state(&mut self) -> ArchState<'_> {
+        ArchState {
+            pc: &mut self.exec.pc,
+            acc: Some(&mut self.acc),
+            mem: &mut self.mem,
+            data_mask: WIDTH_MASK,
         }
-        while !self.halted && self.instructions < max_steps {
-            self.step_with(input, output, faults)?;
-        }
-        Ok(RunResult {
-            cycles: self.cycle,
-            instructions: self.instructions,
-            taken_branches: self.taken_branches,
-            fetched_bytes: self.fetched_bytes,
-            stop: if self.halted {
-                StopReason::Halted
-            } else {
-                StopReason::CycleLimit
-            },
-        })
+    }
+
+    #[inline]
+    fn event_acc(&self) -> u8 {
+        self.acc
     }
 }
 
-#[cfg(test)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,8 +493,8 @@ mod tests {
         ];
         let (core, r, _) = run_with(f, &prog, 0);
         assert!(r.halted());
-        assert_eq!(core.mem(3), 2);
-        assert_eq!(core.mem(4), 7);
+        assert_eq!(core.mem(3), Some(2));
+        assert_eq!(core.mem(4), Some(7));
         assert!(!core.carry());
     }
 
@@ -546,7 +510,7 @@ mod tests {
             halt(5),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(3), 1);
+        assert_eq!(core.mem(3), Some(1));
         assert!(core.carry());
 
         let prog = [
@@ -558,27 +522,16 @@ mod tests {
             halt(5),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(3), 0xF);
+        assert_eq!(core.mem(3), Some(0xF));
         assert!(!core.carry());
     }
 
     #[test]
     fn swb_consumes_borrow() {
         let f = FeatureSet::revised();
-        // 16-bit style: 0x21 - 0x13 = 0x0E nibble-wise.
-        // low: 1 - 3 = 0xE borrow; high: 2 - 1 - borrow = 0.
-        let prog = [
-            I::AddImm { imm: 3 }, // acc = 3                      @0
-            I::Store { m: 2 },    // r2 = 3 (low of subtrahend)   @1
-            I::AddImm { imm: 7 }, // 3 - 1 = 2... build 1 instead  (placeholderless: acc=2)
-            I::Sub { m: 2 },      // 2 - 3 = 0xF, borrow          @3
-            I::Store { m: 3 },    // low result 0xF               @4
-            I::AddImm { imm: 3 }, // acc = 0xF + 3 = 2, BUT this clobbers carry!
-            halt(7),
-        ];
-        // ADD would clobber the borrow, so load the high nibble from memory
-        // prepared before the subtraction instead.
-        let _ = prog;
+        // 16-bit style subtraction: low nibble borrows, SWB consumes it on
+        // the high nibble. Load the high nibble from memory prepared before
+        // the subtraction (an ADD would clobber the borrow).
         let prog = [
             I::AddImm { imm: 2 },   // acc = 2                       @0
             I::Store { m: 4 },      // r4 = 2 (high of minuend)      @1
@@ -594,7 +547,7 @@ mod tests {
             halt(11),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(6), 0xE);
+        assert_eq!(core.mem(6), Some(0xE));
         assert!(!core.carry());
     }
 
@@ -608,7 +561,7 @@ mod tests {
             halt(3),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(2), 1);
+        assert_eq!(core.mem(2), Some(1));
         assert!(core.carry());
 
         // asr keeps the sign: 0b1010 >> 1 (arith) = 0b1101
@@ -621,7 +574,7 @@ mod tests {
             halt(5),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(2), 0xD);
+        assert_eq!(core.mem(2), Some(0xD));
         assert!(!core.carry());
     }
 
@@ -639,8 +592,8 @@ mod tests {
             halt(7),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(2), 0xF);
-        assert_eq!(core.mem(3), 0);
+        assert_eq!(core.mem(2), Some(0xF));
+        assert_eq!(core.mem(3), Some(0));
     }
 
     #[test]
@@ -658,7 +611,7 @@ mod tests {
             halt(5),
         ];
         let (core, r, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(2), 0);
+        assert_eq!(core.mem(2), Some(0));
         assert_eq!(r.taken_branches, 2); // the br.z and the halt spin
     }
 
@@ -674,7 +627,7 @@ mod tests {
         ];
         let (core, r, _) = run_with(f, &prog, 0);
         assert!(r.halted());
-        assert_eq!(core.mem(2), 2);
+        assert_eq!(core.mem(2), Some(2));
     }
 
     #[test]
@@ -689,8 +642,8 @@ mod tests {
             halt(5),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(2), 5);
-        assert_eq!(core.mem(3), 3);
+        assert_eq!(core.mem(2), Some(5));
+        assert_eq!(core.mem(3), Some(3));
     }
 
     #[test]
@@ -710,8 +663,8 @@ mod tests {
             halt(9),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(4), 0xA);
-        assert_eq!(core.mem(5), 0x2);
+        assert_eq!(core.mem(4), Some(0xA));
+        assert_eq!(core.mem(5), Some(0x2));
     }
 
     #[test]
@@ -757,7 +710,7 @@ mod tests {
         let (b, r, _) = run_with(FeatureSet::BASE, &xac, 9);
         assert!(r.halted());
         assert_eq!(a.mem(2), b.mem(2));
-        assert_eq!(a.mem(2), 0xC);
+        assert_eq!(a.mem(2), Some(0xC));
     }
 
     #[test]
@@ -770,7 +723,7 @@ mod tests {
             halt(3),
         ];
         let (core, _, _) = run_with(f, &prog, 0);
-        assert_eq!(core.mem(2), 0xD);
+        assert_eq!(core.mem(2), Some(0xD));
         assert!(!core.carry(), "3 > 0 so 0-3 borrows");
     }
 

@@ -11,21 +11,24 @@
 //! Feature gating mirrors [`XaccCore`](crate::sim::xacc::XaccCore):
 //! executing an instruction whose feature is disabled raises
 //! [`SimError::IllegalInstruction`].
+//!
+//! The step/run loop lives in [`crate::exec::Engine`]; this module
+//! contributes only the load-store decode/execute semantics via the
+//! [`Core`] trait.
 
 use crate::error::SimError;
+use crate::exec::{Core, Engine, ExecState, Flow, PC_MASK};
 use crate::io::{InputPort, OutputPort};
 use crate::isa::features::FeatureSet;
 use crate::isa::sign_extend;
 use crate::isa::xls::{Instruction, Op, Operand, IPORT_REG, NUM_REGS, OPORT_REG};
-use crate::mmu::Mmu;
 use crate::program::Program;
 use crate::sim::fault::{ArchState, FaultHook, NoFaults};
-use crate::sim::{RunResult, StopReason};
+use crate::sim::RunResult;
 use crate::trace::StepEvent;
 
 const WIDTH: u32 = 4;
 const WIDTH_MASK: u8 = 0xF;
-const PC_MASK: u8 = 0x7F;
 
 /// Condition flags produced by the last value-writing instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,16 +56,10 @@ impl Flags {
 #[derive(Debug, Clone)]
 pub struct XlsCore {
     features: FeatureSet,
-    program: Program,
-    mmu: Mmu,
-    pc: u8,
+    exec: ExecState,
     regs: [u8; NUM_REGS],
     flags: Flags,
     ra: u8,
-    cycle: u64,
-    instructions: u64,
-    taken_branches: u64,
-    halted: bool,
 }
 
 impl XlsCore {
@@ -71,23 +68,17 @@ impl XlsCore {
     pub fn new(features: FeatureSet, program: Program) -> Self {
         XlsCore {
             features,
-            program,
-            mmu: Mmu::new(),
-            pc: 0,
+            exec: ExecState::new(program),
             regs: [0; NUM_REGS],
             flags: Flags::default(),
             ra: 0,
-            cycle: 0,
-            instructions: 0,
-            taken_branches: 0,
-            halted: false,
         }
     }
 
     /// Reset architectural state, keeping program and features.
     pub fn reset(&mut self) {
         let features = self.features;
-        let program = core::mem::take(&mut self.program);
+        let program = core::mem::take(&mut self.exec.program);
         *self = XlsCore::new(features, program);
     }
 
@@ -100,17 +91,13 @@ impl XlsCore {
     /// Current program counter (instruction index).
     #[must_use]
     pub fn pc(&self) -> u8 {
-        self.pc
+        self.exec.pc
     }
 
-    /// The register `r` (0..8).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r >= 8`.
+    /// The register `r`, or `None` when `r >= 8`.
     #[must_use]
-    pub fn reg(&self, r: u8) -> u8 {
-        self.regs[usize::from(r)]
+    pub fn reg(&self, r: u8) -> Option<u8> {
+        self.regs.get(usize::from(r)).copied()
     }
 
     /// Current condition flags.
@@ -122,20 +109,38 @@ impl XlsCore {
     /// Whether the halt idiom has been reached.
     #[must_use]
     pub fn is_halted(&self) -> bool {
-        self.halted
+        self.exec.halted
     }
 
     /// Retired instruction count.
     #[must_use]
     pub fn instructions(&self) -> u64 {
-        self.instructions
+        self.exec.instructions
+    }
+
+    /// Elapsed ISA-level cycles (one per retired instruction).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.exec.cycle
+    }
+
+    /// The currently selected MMU page.
+    #[must_use]
+    pub fn page(&self) -> u8 {
+        self.exec.mmu.page()
+    }
+
+    /// The loaded program image.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.exec.program
     }
 
     fn read_reg<I: InputPort, F: FaultHook>(&mut self, r: u8, input: &mut I, faults: &mut F) -> u8 {
         if r == IPORT_REG {
-            let v = input.read(self.cycle) & WIDTH_MASK;
+            let v = input.read(self.exec.cycle) & WIDTH_MASK;
             if F::ACTIVE {
-                faults.on_input(self.cycle, v) & WIDTH_MASK
+                faults.on_input(self.exec.cycle, v) & WIDTH_MASK
             } else {
                 v
             }
@@ -157,12 +162,12 @@ impl XlsCore {
         }
         if r == OPORT_REG {
             let driven = if F::ACTIVE {
-                faults.on_output(self.cycle, v) & WIDTH_MASK
+                faults.on_output(self.exec.cycle, v) & WIDTH_MASK
             } else {
                 v
             };
-            output.write(self.cycle, driven);
-            self.mmu.observe(driven);
+            output.write(self.exec.cycle, driven);
+            self.exec.mmu.observe(driven);
         }
     }
 
@@ -195,115 +200,7 @@ impl XlsCore {
         O: OutputPort,
         F: FaultHook,
     {
-        self.mmu.tick();
-        let address = self.mmu.extend(self.pc) * 2;
-        let window = self.program.window(address);
-        if window.is_empty() {
-            return Err(SimError::FetchOutOfBounds {
-                address,
-                program_len: self.program.len(),
-            });
-        }
-        let mut fetch_buf = [0u8; 2];
-        let window: &[u8] = if F::ACTIVE {
-            let n = window.len().min(2);
-            for (i, b) in window[..n].iter().enumerate() {
-                fetch_buf[i] = faults.on_fetch(self.cycle + i as u64, *b);
-            }
-            &fetch_buf[..n]
-        } else {
-            window
-        };
-        let (insn, _len) = Instruction::decode_bytes(window).map_err(|e| match e {
-            crate::error::DecodeError::NeedsSecondByte { .. } => {
-                SimError::TruncatedInstruction { address }
-            }
-            crate::error::DecodeError::Illegal { raw } => {
-                SimError::IllegalInstruction { raw, address }
-            }
-        })?;
-        if !insn.is_legal(self.features) {
-            return Err(SimError::IllegalInstruction {
-                raw: insn.encode(),
-                address,
-            });
-        }
-
-        let start_cycle = self.cycle;
-        let mut taken = false;
-        let mut next_pc = (self.pc + 1) & PC_MASK;
-
-        match insn {
-            Instruction::Alu { op, rd, operand } => {
-                let b = match operand {
-                    Operand::Reg(rs) => self.read_reg(rs, input, faults),
-                    Operand::Imm(v) => (sign_extend(v, 4) as u8) & WIDTH_MASK,
-                };
-                let a = self.read_reg(rd, input, faults);
-                let result = self.alu(op, a, b);
-                self.flags.set_nzp(result);
-                self.write_reg(rd, result, output, faults);
-            }
-            Instruction::Br { cond, target } => {
-                let f = self.flags;
-                let bits = cond.bits();
-                let go = (bits & 0b100 != 0 && f.n)
-                    || (bits & 0b010 != 0 && f.z)
-                    || (bits & 0b001 != 0 && f.p);
-                if go {
-                    taken = true;
-                    let t = target & PC_MASK;
-                    if t == self.pc {
-                        self.halted = true;
-                    }
-                    next_pc = t;
-                }
-            }
-            Instruction::Call { target } => {
-                taken = true;
-                self.ra = (self.pc + 1) & PC_MASK;
-                let t = target & PC_MASK;
-                if t == self.pc {
-                    self.halted = true;
-                }
-                next_pc = t;
-            }
-            Instruction::Ret => {
-                taken = true;
-                next_pc = self.ra;
-                if next_pc == self.pc {
-                    self.halted = true;
-                }
-            }
-        }
-
-        self.pc = next_pc;
-        self.cycle += 1;
-        self.instructions += 1;
-        if taken {
-            self.taken_branches += 1;
-        }
-        if F::ACTIVE {
-            faults.on_state(
-                self.cycle,
-                &mut ArchState {
-                    pc: &mut self.pc,
-                    acc: None,
-                    mem: &mut self.regs,
-                    data_mask: WIDTH_MASK,
-                },
-            );
-        }
-
-        Ok(StepEvent {
-            cycle: start_cycle,
-            address,
-            next_pc: self.pc,
-            acc: 0,
-            cycles: 1,
-            taken_branch: taken,
-            halted: self.halted,
-        })
+        Engine::with_faults(&mut *self, faults).step(input, output)
     }
 
     fn alu(&mut self, op: Op, a: u8, b: u8) -> u8 {
@@ -414,31 +311,105 @@ impl XlsCore {
         O: OutputPort,
         F: FaultHook,
     {
-        if F::ACTIVE {
-            faults.on_state(
-                self.cycle,
-                &mut ArchState {
-                    pc: &mut self.pc,
-                    acc: None,
-                    mem: &mut self.regs,
-                    data_mask: WIDTH_MASK,
-                },
-            );
+        Engine::with_faults(&mut *self, faults).run(input, output, max_steps)
+    }
+}
+
+impl Core for XlsCore {
+    type Insn = Instruction;
+    const FETCH_WINDOW: usize = 2;
+
+    #[inline]
+    fn state(&self) -> &ExecState {
+        &self.exec
+    }
+
+    #[inline]
+    fn state_mut(&mut self) -> &mut ExecState {
+        &mut self.exec
+    }
+
+    #[inline]
+    fn fetch_address(&self, page_pc: u32) -> u32 {
+        page_pc * 2
+    }
+
+    #[inline]
+    fn decode(&self, window: &[u8], address: u32) -> Result<(Instruction, u8), SimError> {
+        let (insn, len) = Instruction::decode_bytes(window).map_err(|e| match e {
+            crate::error::DecodeError::NeedsSecondByte { .. } => {
+                SimError::TruncatedInstruction { address }
+            }
+            crate::error::DecodeError::Illegal { raw } => {
+                SimError::IllegalInstruction { raw, address }
+            }
+        })?;
+        if !insn.is_legal(self.features) {
+            return Err(SimError::IllegalInstruction {
+                raw: insn.encode(),
+                address,
+            });
         }
-        while !self.halted && self.instructions < max_steps {
-            self.step_with(input, output, faults)?;
+        Ok((insn, len as u8))
+    }
+
+    #[inline]
+    fn execute<I: InputPort, O: OutputPort, F: FaultHook>(
+        &mut self,
+        insn: Instruction,
+        input: &mut I,
+        output: &mut O,
+        faults: &mut F,
+    ) -> Flow {
+        match insn {
+            Instruction::Alu { op, rd, operand } => {
+                let b = match operand {
+                    Operand::Reg(rs) => self.read_reg(rs, input, faults),
+                    Operand::Imm(v) => (sign_extend(v, 4) as u8) & WIDTH_MASK,
+                };
+                let a = self.read_reg(rd, input, faults);
+                let result = self.alu(op, a, b);
+                self.flags.set_nzp(result);
+                self.write_reg(rd, result, output, faults);
+            }
+            Instruction::Br { cond, target } => {
+                let f = self.flags;
+                let bits = cond.bits();
+                let go = (bits & 0b100 != 0 && f.n)
+                    || (bits & 0b010 != 0 && f.z)
+                    || (bits & 0b001 != 0 && f.p);
+                if go {
+                    return Flow::Jump { target };
+                }
+            }
+            Instruction::Call { target } => {
+                self.ra = (self.exec.pc + 1) & PC_MASK;
+                return Flow::Jump { target };
+            }
+            Instruction::Ret => {
+                return Flow::Jump { target: self.ra };
+            }
         }
-        Ok(RunResult {
-            cycles: self.cycle,
-            instructions: self.instructions,
-            taken_branches: self.taken_branches,
-            fetched_bytes: self.instructions * 2,
-            stop: if self.halted {
-                StopReason::Halted
-            } else {
-                StopReason::CycleLimit
-            },
-        })
+        Flow::Sequential
+    }
+
+    #[inline]
+    fn pc_increment(_len: u8) -> u8 {
+        1
+    }
+
+    #[inline]
+    fn budget_spent(state: &ExecState) -> u64 {
+        state.instructions
+    }
+
+    fn arch_state(&mut self) -> ArchState<'_> {
+        ArchState {
+            pc: &mut self.exec.pc,
+            acc: None,
+            mem: &mut self.regs,
+            data_mask: WIDTH_MASK,
+        }
     }
 }
 
@@ -497,7 +468,7 @@ mod tests {
             halt(3),
         ];
         let (core, _) = run_prog(FeatureSet::revised(), &prog, 0);
-        assert_eq!(core.reg(2), 9);
+        assert_eq!(core.reg(2), Some(9));
         assert!(core.is_halted());
     }
 
@@ -527,7 +498,7 @@ mod tests {
             halt(4),
         ];
         let (core, _) = run_prog(FeatureSet::revised(), &prog, 0);
-        assert_eq!(core.reg(3), 0);
+        assert_eq!(core.reg(3), Some(0));
     }
 
     #[test]
@@ -538,7 +509,7 @@ mod tests {
             halt(2),
         ];
         let (core, _) = run_prog(FeatureSet::revised(), &prog, 0);
-        assert_eq!(core.reg(2), 0xE);
+        assert_eq!(core.reg(2), Some(0xE));
         assert!(!core.flags().c);
         assert!(core.flags().n);
     }
@@ -553,7 +524,7 @@ mod tests {
             I::Ret,                           // 4
         ];
         let (core, _) = run_prog(FeatureSet::revised(), &prog, 0);
-        assert_eq!(core.reg(3), 7);
+        assert_eq!(core.reg(3), Some(7));
     }
 
     #[test]
@@ -566,8 +537,8 @@ mod tests {
             halt(4),
         ];
         let (core, _) = run_prog(FeatureSet::revised(), &prog, 0);
-        assert_eq!(core.reg(2), 0xE);
-        assert_eq!(core.reg(3), 0x6);
+        assert_eq!(core.reg(2), Some(0xE));
+        assert_eq!(core.reg(3), Some(0x6));
     }
 
     #[test]
@@ -588,7 +559,7 @@ mod tests {
             halt(2),
         ];
         let (core, _) = run_prog(FeatureSet::revised(), &prog, 0x9);
-        assert_eq!(core.reg(2), 0x9);
+        assert_eq!(core.reg(2), Some(0x9));
     }
 
     #[test]
@@ -600,5 +571,6 @@ mod tests {
             .unwrap();
         assert_eq!(r.instructions, 2);
         assert_eq!(r.fetched_bytes, 4);
+        assert_eq!(core.reg(8), None);
     }
 }

@@ -1,8 +1,10 @@
 //! Kernel performance and energy per design point (Figures 11 and 13).
 //!
 //! For each configuration, kernels run on the matching functional
-//! simulator (so dynamic instruction counts are measured, not modelled),
-//! the [`TimingModel`] turns architectural counts into clock cycles, the
+//! simulator (so dynamic instruction counts are measured, not modelled —
+//! [`measure`] batches every input case of a kernel through the
+//! multi-core driver), the
+//! [`TimingModel`] turns architectural counts into clock cycles, the
 //! composed [`CoreCost`] supplies fmax and static
 //! power, and energy is static power × runtime — the only kind of energy
 //! 0.8 µm IGZO has (§3.1).

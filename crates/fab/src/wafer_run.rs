@@ -193,6 +193,12 @@ impl WaferExperiment {
         &self.netlist
     }
 
+    /// The per-die process variation draws, in wafer site order.
+    #[must_use]
+    pub fn variations(&self) -> &[DieVariation] {
+        &self.variations
+    }
+
     /// Test the wafer at `voltage` with `vector_cycles` random cycles
     /// (plus the directed prologue).
     ///

@@ -18,7 +18,7 @@
 use crate::sites::{self, FaultSite};
 use flexasm::Target;
 use flexicore::sim::{ArchFault, FaultKind, FaultPlane};
-use flexkernels::harness::{PreparedKernel, RunError, CYCLE_BUDGET};
+use flexkernels::harness::{BatchCase, PreparedKernel, RunError, CYCLE_BUDGET};
 use flexkernels::{inputs::Sampler, Kernel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -158,14 +158,27 @@ pub fn run_campaign(config: CampaignConfig) -> Result<CampaignResult, RunError> 
     )?;
     let clean_cycles = clean.result.cycles.max(1);
 
-    let mut trials = Vec::with_capacity(config.trials);
+    // Pre-draw every (fault, input) pair in trial order — the RNG and
+    // sampler streams interleave exactly as the old serial loop did —
+    // then run the whole campaign as one batch on the multi-core driver.
+    let mut faults = Vec::with_capacity(config.trials);
+    let mut batch = Vec::with_capacity(config.trials);
     for _ in 0..config.trials {
         let fault = draw_fault(&mut rng, &site_list, config.model, clean_cycles);
-        let inputs = sampler.draw();
-        let mut plane = FaultPlane::with_faults(vec![fault]);
-        let outcome = classify(prepared.run_with(&inputs, config.budget, &mut plane));
-        trials.push(Trial { fault, outcome });
+        faults.push(fault);
+        batch.push(BatchCase {
+            inputs: sampler.draw(),
+            faults: FaultPlane::with_faults(vec![fault]),
+        });
     }
+    let trials = faults
+        .into_iter()
+        .zip(prepared.run_batch(batch, config.budget))
+        .map(|(fault, run)| Trial {
+            fault,
+            outcome: classify(run),
+        })
+        .collect();
     Ok(CampaignResult {
         config,
         trials,

@@ -20,7 +20,7 @@ use flexfab::tester::DieOutcome;
 use flexfab::variation::DieVariation;
 use flexfab::wafer_run::{CoreDesign, WaferRun};
 use flexicore::sim::{FaultPlane, NoFaults};
-use flexkernels::harness::{PreparedKernel, RunError, CYCLE_BUDGET};
+use flexkernels::harness::{BatchCase, PreparedKernel, RunError, CYCLE_BUDGET};
 use flexkernels::{inputs::Sampler, Kernel};
 
 /// The assembly target whose simulator models a fabricated design.
@@ -132,16 +132,24 @@ pub fn die_is_salvageable(
         variation.defect_seed,
         variation.defect_count,
     );
-    let mut plane = FaultPlane::with_faults(faults);
+    let plane = FaultPlane::with_faults(faults);
     for kernel in prepared {
+        // All of a kernel's cases run as one multi-core batch, one lane
+        // per case; each lane gets a freshly armed copy of the die's
+        // fault plane (equivalent to the old serial reset() per run).
         let mut sampler = Sampler::new(kernel.kernel(), config.seed);
-        for _ in 0..config.cases_per_kernel {
-            let inputs = sampler.draw();
-            plane.reset();
-            let outcome = classify(kernel.run_with(&inputs, config.budget, &mut plane));
-            if outcome != Outcome::Masked {
-                return false;
-            }
+        let batch = (0..config.cases_per_kernel)
+            .map(|_| BatchCase {
+                inputs: sampler.draw(),
+                faults: plane.clone(),
+            })
+            .collect();
+        if kernel
+            .run_batch(batch, config.budget)
+            .into_iter()
+            .any(|run| classify(run) != Outcome::Masked)
+        {
+            return false;
         }
     }
     true

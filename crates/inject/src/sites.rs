@@ -41,26 +41,20 @@ impl FaultSite {
 /// Datapath width in bits for a dialect.
 #[must_use]
 pub fn data_bits(dialect: Dialect) -> u8 {
-    match dialect {
-        Dialect::Fc8 => 8,
-        Dialect::Fc4 | Dialect::ExtendedAcc | Dialect::LoadStore => 4,
-    }
+    dialect.datapath_bits() as u8
 }
 
 /// Number of data-memory words (or registers, on the load-store
 /// dialect).
 #[must_use]
 pub fn mem_words(dialect: Dialect) -> u8 {
-    match dialect {
-        Dialect::Fc8 => 4,
-        Dialect::Fc4 | Dialect::ExtendedAcc | Dialect::LoadStore => 8,
-    }
+    dialect.mem_words()
 }
 
 /// Whether the dialect has an architectural accumulator.
 #[must_use]
 pub fn has_accumulator(dialect: Dialect) -> bool {
-    !matches!(dialect, Dialect::LoadStore)
+    dialect.has_accumulator()
 }
 
 /// Every injectable (element, bit) site of a dialect, in a fixed order:
@@ -147,6 +141,33 @@ mod tests {
                 };
                 assert!(s.bit < width, "{dialect:?} {:?}", s);
             }
+        }
+    }
+
+    #[test]
+    fn mem_sites_are_valid_addresses_on_a_real_core() {
+        // every enumerated Mem word must be readable through the checked
+        // accessors of the matching simulator (no panicking indexing)
+        use flexicore::exec::AnyCore;
+        use flexicore::isa::features::FeatureSet;
+        use flexicore::program::Program;
+
+        for dialect in [
+            Dialect::Fc4,
+            Dialect::Fc8,
+            Dialect::ExtendedAcc,
+            Dialect::LoadStore,
+        ] {
+            let core = AnyCore::for_dialect(dialect, FeatureSet::revised(), Program::default());
+            for s in enumerate(dialect) {
+                if let StateElement::Mem(word) = s.element {
+                    assert!(
+                        core.mem(word).is_some(),
+                        "{dialect:?}: Mem({word}) out of range"
+                    );
+                }
+            }
+            assert!(core.mem(mem_words(dialect)).is_none(), "{dialect:?}");
         }
     }
 

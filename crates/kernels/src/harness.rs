@@ -2,9 +2,8 @@
 
 use crate::{oracle, sources, Kernel};
 use flexasm::{AsmError, Target};
-pub use flexcore_dialect::run_on_dialect_with;
-use flexicore::io::{RecordingOutput, ScriptedInput};
-use flexicore::isa::Dialect;
+use flexicore::exec::{AnyCore, LaneStatus, MultiCoreDriver};
+use flexicore::io::{InputPort, OutputPort, RecordingOutput, ScriptedInput};
 use flexicore::program::Program;
 use flexicore::sim::{FaultHook, NoFaults, RunResult};
 use flexicore::SimError;
@@ -135,6 +134,17 @@ impl PreparedKernel {
         &self.program
     }
 
+    /// A fresh simulator of the target dialect with the assembled image
+    /// loaded.
+    #[must_use]
+    pub fn core(&self) -> AnyCore {
+        AnyCore::for_dialect(
+            self.target.dialect,
+            self.target.features,
+            self.program.clone(),
+        )
+    }
+
     /// Execute once with `inputs` scripted on the input port, a `budget`
     /// watchdog, and `faults` injected, verifying against the oracle.
     ///
@@ -149,19 +159,56 @@ impl PreparedKernel {
     ) -> Result<KernelRun, RunError> {
         let mut input = ScriptedInput::new(inputs.to_vec());
         let mut output = RecordingOutput::new();
-        let result = run_on_dialect_with(
-            self.target,
-            self.program.clone(),
-            &mut input,
-            &mut output,
-            budget,
-            faults,
-        )?;
+        let result = self
+            .core()
+            .run_with(&mut input, &mut output, budget, faults)?;
+        self.verify(inputs, output.values(), result)
+    }
+
+    /// Run one case per [`BatchCase`] through the
+    /// [`MultiCoreDriver`], stepping all cases round-robin instead of
+    /// serially, and oracle-verify each lane. Results are in case order
+    /// and bit-for-bit identical to serial [`run_with`](Self::run_with)
+    /// calls with the same inputs and fault hooks.
+    #[must_use]
+    pub fn run_batch<F: FaultHook>(
+        &self,
+        cases: Vec<BatchCase<F>>,
+        budget: u64,
+    ) -> Vec<Result<KernelRun, RunError>> {
+        let mut inputs = Vec::with_capacity(cases.len());
+        let mut driver = MultiCoreDriver::new(budget);
+        for case in cases {
+            driver.push(
+                self.core(),
+                ScriptedInput::new(case.inputs.clone()),
+                RecordingOutput::new(),
+                case.faults,
+            );
+            inputs.push(case.inputs);
+        }
+        driver.run_to_completion();
+        driver
+            .into_lanes()
+            .into_iter()
+            .zip(inputs)
+            .map(|(lane, inputs)| match lane.status {
+                LaneStatus::Done(result) => self.verify(&inputs, lane.output.values(), result),
+                LaneStatus::Faulted(e) => Err(RunError::Sim(e)),
+                LaneStatus::Running => unreachable!("run_to_completion retires every lane"),
+            })
+            .collect()
+    }
+
+    fn verify(
+        &self,
+        inputs: &[u8],
+        raw_outputs: Vec<u8>,
+        result: RunResult,
+    ) -> Result<KernelRun, RunError> {
         if !result.halted() {
             return Err(RunError::DidNotHalt);
         }
-
-        let raw_outputs = output.values();
         let expected = oracle::expected_outputs(self.kernel, self.target.dialect, inputs);
         if raw_outputs != expected {
             return Err(RunError::OracleMismatch {
@@ -178,6 +225,27 @@ impl PreparedKernel {
             static_instructions: self.static_instructions,
             code_bytes: self.code_bytes,
         })
+    }
+}
+
+/// One entry in a [`PreparedKernel::run_batch`] sweep: the scripted
+/// input stream plus the lane's private fault hook.
+#[derive(Debug, Clone)]
+pub struct BatchCase<F = NoFaults> {
+    /// Values scripted on the input port.
+    pub inputs: Vec<u8>,
+    /// The lane's fault hook (use [`NoFaults`] for clean runs).
+    pub faults: F,
+}
+
+impl BatchCase<NoFaults> {
+    /// A clean (fault-free) case.
+    #[must_use]
+    pub fn clean(inputs: Vec<u8>) -> Self {
+        BatchCase {
+            inputs,
+            faults: NoFaults,
+        }
     }
 }
 
@@ -211,42 +279,24 @@ pub fn run_kernel_with<F: FaultHook>(
     PreparedKernel::new(kernel, target)?.run_with(inputs, budget, faults)
 }
 
-/// Dialect dispatch for running an assembled program on the right
-/// functional simulator.
-mod flexcore_dialect {
-    use super::*;
-    use flexicore::io::{InputPort, OutputPort};
-    use flexicore::program::Program;
-    use flexicore::sim::fc4::Fc4Core;
-    use flexicore::sim::fc8::Fc8Core;
-    use flexicore::sim::xacc::XaccCore;
-    use flexicore::sim::xls::XlsCore;
-
-    /// Run `program` on the functional simulator matching
-    /// `target.dialect`, threading a fault-injection hook.
-    ///
-    /// # Errors
-    ///
-    /// Propagates any [`SimError`] from the simulator.
-    pub fn run_on_dialect_with<I: InputPort, O: OutputPort, F: FaultHook>(
-        target: Target,
-        program: Program,
-        input: &mut I,
-        output: &mut O,
-        budget: u64,
-        faults: &mut F,
-    ) -> Result<RunResult, SimError> {
-        match target.dialect {
-            Dialect::Fc4 => Fc4Core::new(program).run_with(input, output, budget, faults),
-            Dialect::Fc8 => Fc8Core::new(program).run_with(input, output, budget, faults),
-            Dialect::ExtendedAcc => {
-                XaccCore::new(target.features, program).run_with(input, output, budget, faults)
-            }
-            Dialect::LoadStore => {
-                XlsCore::new(target.features, program).run_with(input, output, budget, faults)
-            }
-        }
-    }
+/// Run `program` on the functional simulator matching `target.dialect`,
+/// threading a fault-injection hook. Thin wrapper over
+/// [`AnyCore::for_dialect`] kept for callers that have a bare program
+/// rather than a [`PreparedKernel`].
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the simulator.
+pub fn run_on_dialect_with<I: InputPort, O: OutputPort, F: FaultHook>(
+    target: Target,
+    program: Program,
+    input: &mut I,
+    output: &mut O,
+    budget: u64,
+    faults: &mut F,
+) -> Result<RunResult, SimError> {
+    AnyCore::for_dialect(target.dialect, target.features, program)
+        .run_with(input, output, budget, faults)
 }
 
 /// Aggregate statistics over many input cases (one Figure 8 data point).
@@ -276,14 +326,19 @@ pub struct KernelStats {
 /// See [`RunError`].
 pub fn measure(kernel: Kernel, target: Target, cases: &[Vec<u8>]) -> Result<KernelStats, RunError> {
     assert!(!cases.is_empty(), "need at least one input case");
+    let prepared = PreparedKernel::new(kernel, target)?;
+    let batch = cases
+        .iter()
+        .map(|case| BatchCase::clean(case.clone()))
+        .collect();
     let mut instructions = 0u64;
     let mut cycles = 0u64;
     let mut taken = 0u64;
     let mut fetched = 0u64;
     let mut static_instructions = 0;
     let mut code_bytes = 0;
-    for case in cases {
-        let run = run_kernel(kernel, target, case)?;
+    for run in prepared.run_batch(batch, CYCLE_BUDGET) {
+        let run = run?;
         instructions += run.result.instructions;
         cycles += run.result.cycles;
         taken += run.result.taken_branches;
@@ -352,6 +407,33 @@ mod tests {
                 "{k}: supports() must track what actually assembles"
             );
         }
+    }
+
+    #[test]
+    fn run_batch_matches_serial_runs() {
+        let prepared = PreparedKernel::new(Kernel::ParityCheck, Target::fc8()).unwrap();
+        let mut s = Sampler::new(Kernel::ParityCheck, 11);
+        let cases = s.draw_many(8);
+        let batch = prepared.run_batch(
+            cases.iter().map(|c| BatchCase::clean(c.clone())).collect(),
+            CYCLE_BUDGET,
+        );
+        for (case, batched) in cases.iter().zip(batch) {
+            let serial = prepared.run_with(case, CYCLE_BUDGET, &mut NoFaults);
+            let batched = batched.unwrap();
+            let serial = serial.unwrap();
+            assert_eq!(batched.raw_outputs, serial.raw_outputs);
+            assert_eq!(batched.result, serial.result);
+        }
+    }
+
+    #[test]
+    fn run_batch_reports_per_lane_errors() {
+        let prepared = PreparedKernel::new(Kernel::ParityCheck, Target::fc4()).unwrap();
+        // budget 1 cannot reach the halt idiom: every lane is DidNotHalt
+        let batch = prepared.run_batch(vec![BatchCase::clean(vec![0x1, 0x0])], 1);
+        assert_eq!(batch.len(), 1);
+        assert!(matches!(batch[0], Err(RunError::DidNotHalt)));
     }
 
     #[test]

@@ -107,7 +107,7 @@ where
         rtl.settle();
 
         let rtl_oport = rtl.output_value("oport", 0);
-        let isa_oport = u64::from(isa.mem(1));
+        let isa_oport = u64::from(isa.mem(1).expect("OPORT is a valid address"));
         if rtl_oport != isa_oport {
             mismatches.push(Mismatch {
                 cycle,
@@ -174,7 +174,7 @@ where
         rtl.settle();
 
         let rtl_oport = rtl.output_value("oport", 0);
-        let isa_oport = u64::from(isa.mem(1));
+        let isa_oport = u64::from(isa.mem(1).expect("OPORT is a valid address"));
         if rtl_oport != isa_oport {
             mismatches.push(Mismatch {
                 cycle: step_idx,

@@ -248,7 +248,7 @@ proptest! {
             prop_assert!(core.acc() < 16);
             prop_assert!(core.pc() < 128);
             for a in 0..8 {
-                prop_assert!(core.mem(a) < 16);
+                prop_assert!(core.mem(a).unwrap() < 16);
             }
         }
         for v in output.values() {
@@ -353,6 +353,57 @@ proptest! {
                 prop_assert_eq!(&clean.raw_outputs, &hooked.raw_outputs);
                 prop_assert_eq!(clean.result, hooked.result);
                 prop_assert!(hooked.verified);
+            }
+        }
+    }
+
+    /// The shared [`flexicore::exec::Engine`] upholds its accounting
+    /// invariants on every dialect: a retired instruction costs at least
+    /// one cycle and at least one fetched byte, kernels terminate via
+    /// the halt idiom (not the watchdog), and [`NoFaults`] is
+    /// indistinguishable from an armed-but-empty [`FaultPlane`].
+    #[test]
+    fn engine_invariants_hold_on_all_dialects(seed in any::<u64>()) {
+        use flexicore::exec::AnyCore;
+        use flexicore::io::ScriptedInput;
+        use flexicore::sim::fault::FaultPlane;
+        use flexicore::sim::StopReason;
+        use flexkernels::inputs::Sampler;
+        use flexkernels::Kernel;
+
+        for name in ["fc4", "fc8", "xacc", "xls"] {
+            let target = flexinject::target_from_name(name).unwrap();
+            for kernel in [Kernel::ParityCheck, Kernel::XorShift8] {
+                if !kernel.supports(target.dialect) {
+                    continue;
+                }
+                let program = kernel.assemble(target).unwrap().into_program();
+                let inputs = Sampler::new(kernel, seed).draw();
+
+                let mut core =
+                    AnyCore::for_dialect(target.dialect, target.features, program.clone());
+                let mut input = ScriptedInput::new(inputs.clone());
+                let mut output = RecordingOutput::new();
+                let result = core.run(&mut input, &mut output, 200_000).unwrap();
+
+                prop_assert!(result.cycles >= result.instructions, "{name}: {result:?}");
+                prop_assert!(result.fetched_bytes >= result.instructions, "{name}: {result:?}");
+                prop_assert_eq!(result.stop, StopReason::Halted, "{} must halt", name);
+                prop_assert!(core.is_halted());
+
+                // an empty fault plane threads through the same engine
+                // without disturbing a single architectural event
+                let mut hooked_core =
+                    AnyCore::for_dialect(target.dialect, target.features, program.clone());
+                let mut hooked_input = ScriptedInput::new(inputs.clone());
+                let mut hooked_output = RecordingOutput::new();
+                let mut plane = FaultPlane::new();
+                let hooked = hooked_core
+                    .run_with(&mut hooked_input, &mut hooked_output, 200_000, &mut plane)
+                    .unwrap();
+                prop_assert_eq!(result, hooked, "{} diverged under the empty plane", name);
+                prop_assert_eq!(output.values(), hooked_output.values());
+                prop_assert_eq!(core.pc(), hooked_core.pc());
             }
         }
     }
