@@ -9,6 +9,12 @@ cd "$(dirname "$0")"
 echo "== cargo build --release =="
 cargo build --release --offline --workspace
 
+echo "== resilience smoke =="
+# the acceptance gates for the resilient execution layer (TMR masking,
+# >= 90 % transient recovery, bit-for-bit replay) run first in release
+# mode: they are the slowest property-style tests and fail fastest here
+cargo test --release --offline -p flexresilient -q
+
 echo "== cargo test =="
 cargo test --offline --workspace -q
 
@@ -20,7 +26,8 @@ echo "== cargo doc =="
 # must not be held to -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p flexicore -p flexasm -p flexgate -p flexrtl -p flexfab \
-    -p flexkernels -p flexinject -p flexdse -p flexcli -p flexbench
+    -p flexkernels -p flexinject -p flexresilient -p flexdse -p flexcli \
+    -p flexbench
 
 echo "== cargo clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

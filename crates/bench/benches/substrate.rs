@@ -73,7 +73,12 @@ fn bench_wafer_test(c: &mut Criterion) {
     c.bench_function("wafer_chunk_63_dies_1k_vectors", |b| {
         let tester =
             Tester::new(&netlist, TestPlan::quick(1_000)).expect("netlist validation failed");
-        b.iter(|| tester.test_wafer(&dies, 4.5).len());
+        b.iter(|| {
+            tester
+                .test_wafer(&dies, 4.5)
+                .expect("wafer test failed")
+                .len()
+        });
     });
 }
 

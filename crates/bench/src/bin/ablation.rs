@@ -31,7 +31,7 @@ fn main() {
     println!("{:>8} {:>12} {:>12}", "scale", "yield full", "yield incl");
     for scale in [0.5, 1.0, 2.0] {
         let vars = draw_wafer(WaferRecipe::Fc4, 0xAB1A, layout.sites(), area * scale);
-        let outcomes = tester.test_wafer(&vars, 4.5);
+        let outcomes = tester.test_wafer(&vars, 4.5).expect("wafer test failed");
         let full =
             outcomes.iter().filter(|o| o.functional()).count() as f64 / outcomes.len() as f64;
         let inc = layout

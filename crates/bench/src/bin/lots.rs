@@ -17,7 +17,7 @@ fn main() {
         CoreDesign::FlexiCore4Plus,
     ] {
         let lot = Lot::fabricate(design, 6, 0x1075, 4.5, 5_000).expect("lot fabrication failed");
-        let s = lot.stats();
+        let s = lot.stats().expect("lot has wafers");
         let c = lot.current_stats();
         println!(
             "{:<13} {:>9.0}% {:>9.0}% {:>9.0}% {:>7.1}% {:>8}/{:<6}",

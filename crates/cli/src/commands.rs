@@ -43,6 +43,10 @@ commands:
           [--map errors|current|csv]
   inject  [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N] [--seed N]
           [--budget N] [--mode stuck|transient|mixed]
+  resilient [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N] [--seed N]
+          [--budget N] [--mode stuck|transient|mixed]
+          [--quorum tmr|dmr|simplex] [--window N] [--interval N]
+          [--retries N] [--spares N]
   dse
   help
 
@@ -369,6 +373,69 @@ pub fn inject(args: &mut Args) -> Result<String, CliError> {
     Ok(flexinject::report::render_campaign(&result))
 }
 
+/// `flexi resilient` — run a seeded fault-injection campaign through
+/// the resilient executor and print the per-trial recovery table
+/// (Masked / Recovered / Unrecoverable) plus the tally.
+///
+/// `--quorum` picks the rung of the degradation ladder: `tmr` votes
+/// three lanes per output window, `dmr` re-executes checkpoint segments
+/// on divergence, `simplex` only catches crashes and hangs.
+///
+/// # Errors
+///
+/// Usage errors, or [`CliError::Run`] if the campaign itself fails
+/// (the kernel does not assemble or the clean reference run fails).
+pub fn resilient(args: &mut Args) -> Result<String, CliError> {
+    use flexinject::FaultModel;
+    use flexresilient::{QuorumMode, RecoveryCampaignConfig};
+
+    let dialect = args.flag("dialect").unwrap_or_else(|| "fc4".to_string());
+    let target = flexinject::target_from_name(&dialect).ok_or_else(|| {
+        CliError::Usage(format!("unknown dialect `{dialect}` (fc4, fc8, xacc, xls)"))
+    })?;
+    let kernel_name = args.flag("kernel").unwrap_or_else(|| "parity".to_string());
+    let kernel = flexinject::kernel_from_name(&kernel_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown kernel `{kernel_name}`; run `flexi kernels` for the list"
+        ))
+    })?;
+    if !kernel.supports(target.dialect) {
+        return Err(CliError::Usage(format!(
+            "kernel `{}` does not fit the {} dialect (§3.3 capacity trade-off)",
+            kernel.name(),
+            target.dialect,
+        )));
+    }
+    let mode = args.flag("mode").unwrap_or_else(|| "stuck".to_string());
+    let model = FaultModel::from_name(&mode).ok_or_else(|| {
+        CliError::Usage(format!("unknown mode `{mode}` (stuck, transient, mixed)"))
+    })?;
+    let quorum_name = args.flag("quorum").unwrap_or_else(|| "tmr".to_string());
+    let quorum = QuorumMode::from_name(&quorum_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown quorum `{quorum_name}` (tmr, dmr, simplex)"
+        ))
+    })?;
+
+    let mut config = RecoveryCampaignConfig::new(
+        target,
+        kernel,
+        args.num("faults", 32usize)?,
+        args.num("seed", 0xF417u64)?,
+    );
+    config.budget = args.num("budget", flexkernels::harness::CYCLE_BUDGET)?;
+    config.model = model;
+    config.mode = quorum;
+    config.window = args.num("window", config.window)?;
+    config.interval = args.num("interval", config.interval)?;
+    config.max_retries = args.num("retries", config.max_retries)?;
+    config.spares = args.num("spares", config.spares)?;
+
+    let campaign =
+        flexresilient::run_recovery_campaign(config).map_err(|e| CliError::Run(e.to_string()))?;
+    Ok(flexresilient::render_recovery_campaign(&campaign))
+}
+
 /// `flexi dse` — print the §6 summary.
 ///
 /// # Errors
@@ -540,6 +607,57 @@ mod tests {
         assert!(a.contains("seed 41"), "{a}");
         assert!(a.contains("masked"), "{a}");
         assert!(a.contains("most vulnerable"), "{a}");
+    }
+
+    #[test]
+    fn resilient_tmr_masks_and_replays_deterministically() {
+        let argv = &[
+            "resilient",
+            "--dialect",
+            "fc4",
+            "--kernel",
+            "parity",
+            "--faults",
+            "6",
+            "--seed",
+            "17",
+            "--budget",
+            "20000",
+        ];
+        let a = call(argv).unwrap();
+        let b = call(argv).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("under tmr"), "{a}");
+        assert!(a.contains("seed 17"), "{a}");
+        assert!(a.contains("unrecoverable    0"), "{a}");
+    }
+
+    #[test]
+    fn resilient_dmr_recovers_transients() {
+        let out = call(&[
+            "resilient",
+            "--quorum",
+            "dmr",
+            "--mode",
+            "transient",
+            "--faults",
+            "6",
+            "--seed",
+            "29",
+            "--budget",
+            "20000",
+            "--interval",
+            "32",
+        ])
+        .unwrap();
+        assert!(out.contains("under dmr"), "{out}");
+        assert!(out.contains("masked"), "{out}");
+    }
+
+    #[test]
+    fn resilient_rejects_unknown_quorum() {
+        let err = call(&["resilient", "--quorum", "qmr"]).unwrap_err();
+        assert!(err.to_string().contains("unknown quorum"), "{err}");
     }
 
     #[test]

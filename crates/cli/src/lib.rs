@@ -18,6 +18,10 @@
 //!               [--cycles N] [--map errors|current|csv]
 //! flexi inject  [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N]
 //!               [--seed N] [--budget N] [--mode stuck|transient|mixed]
+//! flexi resilient [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N]
+//!               [--seed N] [--budget N] [--mode stuck|transient|mixed]
+//!               [--quorum tmr|dmr|simplex] [--window N] [--interval N]
+//!               [--retries N] [--spares N]
 //! flexi dse
 //! ```
 //!
@@ -54,6 +58,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "kernel" => commands::kernel(&mut args)?,
         "wafer" => commands::wafer(&mut args)?,
         "inject" => commands::inject(&mut args)?,
+        "resilient" => commands::resilient(&mut args)?,
         "dse" => commands::dse(&mut args)?,
         "help" | "--help" | "-h" => commands::usage(),
         other => {

@@ -13,7 +13,7 @@ use crate::sim::xls::XlsCore;
 use crate::sim::RunResult;
 use crate::trace::StepEvent;
 
-use super::Core;
+use super::{Core, Snapshot};
 
 /// A core of any dialect behind one type, for consumers that pick the
 /// dialect at runtime (CLI, kernel harness, fault campaigns). Replaces
@@ -219,5 +219,20 @@ impl AnyCore {
     #[must_use]
     pub fn run_result(&self) -> RunResult {
         each_core!(self, c => c.state().run_result())
+    }
+
+    /// Checkpoint the full architectural state (see [`Core::snapshot`]).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        each_core!(self, c => c.snapshot())
+    }
+
+    /// Roll back to a previously taken [`AnyCore::snapshot`]. The
+    /// snapshot must come from a core of the same dialect running the
+    /// same program (see [`Core::restore`]) — restoring onto a freshly
+    /// constructed clone of the snapshotted core is how a rollback
+    /// executor migrates a checkpoint onto a spare die.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        each_core!(self, c => c.restore(snap));
     }
 }

@@ -20,10 +20,13 @@ use super::AnyCore;
 /// How one lane left the driver.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LaneStatus {
-    /// Still executing (not halted, budget not exhausted).
+    /// Still executing (not halted, fuel not exhausted).
     Running,
-    /// Halted or hit the watchdog budget; accounting snapshot attached.
+    /// Reached the halt idiom; accounting snapshot attached.
     Done(RunResult),
+    /// Exhausted its fuel budget without halting — the lane is hung,
+    /// but the rest of the batch keeps running to its own budgets.
+    Hung(RunResult),
     /// The simulator faulted (illegal instruction, bad fetch, …).
     Faulted(SimError),
 }
@@ -33,6 +36,16 @@ impl LaneStatus {
     #[must_use]
     pub fn is_running(&self) -> bool {
         matches!(self, LaneStatus::Running)
+    }
+
+    /// The accounting snapshot of a retired lane ([`Done`](LaneStatus::Done)
+    /// or [`Hung`](LaneStatus::Hung)); `None` while running or faulted.
+    #[must_use]
+    pub fn result(&self) -> Option<&RunResult> {
+        match self {
+            LaneStatus::Done(r) | LaneStatus::Hung(r) => Some(r),
+            LaneStatus::Running | LaneStatus::Faulted(_) => None,
+        }
     }
 }
 
@@ -47,6 +60,10 @@ pub struct Lane<I, O, F = NoFaults> {
     pub output: O,
     /// The die's fault hook (defect faults, or a transparent plane).
     pub faults: F,
+    /// This lane's private watchdog fuel (same units as the dialect's
+    /// `run` budget). A hung lane burns only its own fuel; it cannot
+    /// starve the rest of the batch.
+    pub fuel: u64,
     /// Where the lane stands.
     pub status: LaneStatus,
 }
@@ -94,33 +111,46 @@ impl<I: InputPort, O: OutputPort, F: FaultHook> MultiCoreDriver<I, O, F> {
         self.lanes.iter().filter(|l| l.status.is_running()).count()
     }
 
-    /// Admit one die. Power-on state faults are applied immediately
-    /// (matching what serial `run_with` does before its first fetch).
+    /// Admit one die with the driver's default fuel budget. Power-on
+    /// state faults are applied immediately (matching what serial
+    /// `run_with` does before its first fetch).
     pub fn push(&mut self, core: AnyCore, input: I, output: O, faults: F) {
+        let fuel = self.budget;
+        self.push_with_fuel(core, input, output, faults, fuel);
+    }
+
+    /// [`push`](MultiCoreDriver::push) with a per-lane `fuel` override,
+    /// for batches mixing short screens with long-running workloads.
+    pub fn push_with_fuel(&mut self, core: AnyCore, input: I, output: O, faults: F, fuel: u64) {
         let mut lane = Lane {
             core,
             input,
             output,
             faults,
+            fuel,
             status: LaneStatus::Running,
         };
         lane.core.power_on_faults(&mut lane.faults);
         self.lanes.push(lane);
     }
 
-    /// Sweep every running lane once: retire lanes that have halted or
-    /// exhausted the budget, step the rest by one instruction. Returns
-    /// the number of lanes that actually stepped; when it reaches zero,
-    /// every lane is [`Done`](LaneStatus::Done) or
-    /// [`Faulted`](LaneStatus::Faulted).
+    /// Sweep every running lane once: retire lanes that have halted
+    /// ([`Done`](LaneStatus::Done)) or burned through their own fuel
+    /// ([`Hung`](LaneStatus::Hung)), step the rest by one instruction.
+    /// Returns the number of lanes that actually stepped; when it
+    /// reaches zero, no lane is [`Running`](LaneStatus::Running).
     pub fn step_all(&mut self) -> usize {
         let mut stepped = 0;
         for lane in &mut self.lanes {
             if !lane.status.is_running() {
                 continue;
             }
-            if lane.core.is_halted() || lane.core.budget_spent() >= self.budget {
+            if lane.core.is_halted() {
                 lane.status = LaneStatus::Done(lane.core.run_result());
+                continue;
+            }
+            if lane.core.budget_spent() >= lane.fuel {
+                lane.status = LaneStatus::Hung(lane.core.run_result());
                 continue;
             }
             match lane
@@ -201,7 +231,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_exhaustion_retires_a_lane() {
+    fn budget_exhaustion_hangs_a_lane() {
         // spin between two addresses: never the halt idiom
         let program = fc4_program(&[I4::NandImm { imm: 0 }, I4::Branch { target: 0 }]);
         let mut driver = MultiCoreDriver::new(50);
@@ -213,11 +243,42 @@ mod tests {
         );
         driver.run_to_completion();
         match &driver.lanes()[0].status {
-            LaneStatus::Done(r) => {
+            LaneStatus::Hung(r) => {
                 assert!(!r.halted());
                 assert_eq!(r.cycles, 50);
             }
-            other => panic!("expected Done, got {other:?}"),
+            other => panic!("expected Hung, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_lane_fuel_is_independent() {
+        // one spinner on a short leash next to a spinner on a long one:
+        // the short lane hangs at its own fuel, the long lane keeps
+        // running, and a finite batch still completes
+        let spin = fc4_program(&[I4::NandImm { imm: 0 }, I4::Branch { target: 0 }]);
+        let mut driver = MultiCoreDriver::new(1_000);
+        driver.push_with_fuel(
+            AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, spin.clone()),
+            ConstInput::new(0),
+            RecordingOutput::new(),
+            NoFaults,
+            10,
+        );
+        driver.push(
+            AnyCore::for_dialect(Dialect::Fc4, FeatureSet::BASE, spin),
+            ConstInput::new(0),
+            RecordingOutput::new(),
+            NoFaults,
+        );
+        driver.run_to_completion();
+        let lanes = driver.lanes();
+        match (&lanes[0].status, &lanes[1].status) {
+            (LaneStatus::Hung(short), LaneStatus::Hung(long)) => {
+                assert_eq!(short.cycles, 10);
+                assert_eq!(long.cycles, 1_000);
+            }
+            other => panic!("expected two hung lanes, got {other:?}"),
         }
     }
 

@@ -137,6 +137,79 @@ impl ExecState {
     }
 }
 
+/// A checkpoint of one core's full architectural state, excluding the
+/// (immutable) program image: the shared [`ExecState`] accounting, the
+/// off-chip MMU, and the dialect-private registers flattened into a
+/// common layout. Cores are tiny — a snapshot is a few dozen bytes —
+/// so checkpointing every K instructions is cheap enough for
+/// rollback-recovery executors to take for granted.
+///
+/// Produced by [`Core::snapshot`]; consumed by [`Core::restore`]. A
+/// snapshot only round-trips through a core of the same dialect running
+/// the same program (restore does not touch the program image).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Snapshot {
+    /// The off-chip MMU (page register, transducer state, delay line).
+    pub mmu: Mmu,
+    /// Program counter (7 bits, in-page).
+    pub pc: u8,
+    /// Elapsed clock cycles.
+    pub cycle: u64,
+    /// Retired instruction count.
+    pub instructions: u64,
+    /// Taken control transfers retired.
+    pub taken_branches: u64,
+    /// Program-memory bytes fetched.
+    pub fetched_bytes: u64,
+    /// Whether the halt idiom had been reached.
+    pub halted: bool,
+    /// Accumulator (0 on the accumulator-less load-store dialect).
+    pub acc: u8,
+    /// Link register (0 on dialects without subroutine support).
+    pub ra: u8,
+    /// Dialect-private flags packed into one byte (carry on the
+    /// extended-accumulator dialect; N/Z/P/C on load-store; 0 on the
+    /// fabricated dialects, which have no flags).
+    pub flags: u8,
+    /// Data memory words, or the register file on load-store.
+    pub mem: Vec<u8>,
+}
+
+impl Snapshot {
+    fn empty() -> Self {
+        Snapshot {
+            mmu: Mmu::new(),
+            pc: 0,
+            cycle: 0,
+            instructions: 0,
+            taken_branches: 0,
+            fetched_bytes: 0,
+            halted: false,
+            acc: 0,
+            ra: 0,
+            flags: 0,
+            mem: Vec::new(),
+        }
+    }
+
+    /// `true` when two snapshots agree on everything a program can
+    /// observe — PC, MMU, halt flag, and the dialect registers — while
+    /// ignoring the run accounting (cycles, retired instructions, …).
+    /// Redundant lanes that diverged and reconverged may legitimately
+    /// differ in accounting; a voter comparing architectural agreement
+    /// must not flag that as divergence.
+    #[must_use]
+    pub fn same_arch(&self, other: &Snapshot) -> bool {
+        self.mmu == other.mmu
+            && self.pc == other.pc
+            && self.halted == other.halted
+            && self.acc == other.acc
+            && self.ra == other.ra
+            && self.flags == other.flags
+            && self.mem == other.mem
+    }
+}
+
 /// What an executed instruction did to control flow. The engine owns
 /// the PC commit and the halt-idiom check; execute bodies only report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +299,49 @@ pub trait Core {
     fn event_acc(&self) -> u8 {
         0
     }
+
+    /// Copy the dialect-private architectural state (accumulator,
+    /// flags, link register, data memory / register file) into `snap`.
+    /// The engine-owned fields of `snap` are already filled by
+    /// [`Core::snapshot`].
+    fn save_arch(&self, snap: &mut Snapshot);
+
+    /// Restore the dialect-private architectural state from `snap`,
+    /// mirroring [`Core::save_arch`].
+    fn load_arch(&mut self, snap: &Snapshot);
+
+    /// Checkpoint the full architectural state (shared execution state,
+    /// MMU, and dialect registers). The program image is *not* captured
+    /// — it is immutable, and snapshots stay a few dozen bytes.
+    #[must_use]
+    fn snapshot(&self) -> Snapshot {
+        let state = self.state();
+        let mut snap = Snapshot::empty();
+        snap.mmu = state.mmu;
+        snap.pc = state.pc;
+        snap.cycle = state.cycle;
+        snap.instructions = state.instructions;
+        snap.taken_branches = state.taken_branches;
+        snap.fetched_bytes = state.fetched_bytes;
+        snap.halted = state.halted;
+        self.save_arch(&mut snap);
+        snap
+    }
+
+    /// Roll the core back to a previously taken [`Core::snapshot`]. The
+    /// program image is untouched; `snap` must come from a core of the
+    /// same dialect (same memory geometry) running the same program.
+    fn restore(&mut self, snap: &Snapshot) {
+        let state = self.state_mut();
+        state.mmu = snap.mmu;
+        state.pc = snap.pc;
+        state.cycle = snap.cycle;
+        state.instructions = snap.instructions;
+        state.taken_branches = snap.taken_branches;
+        state.fetched_bytes = snap.fetched_bytes;
+        state.halted = snap.halted;
+        self.load_arch(snap);
+    }
 }
 
 impl<C: Core> Core for &mut C {
@@ -286,6 +402,16 @@ impl<C: Core> Core for &mut C {
     #[inline]
     fn event_acc(&self) -> u8 {
         (**self).event_acc()
+    }
+
+    #[inline]
+    fn save_arch(&self, snap: &mut Snapshot) {
+        (**self).save_arch(snap);
+    }
+
+    #[inline]
+    fn load_arch(&mut self, snap: &Snapshot) {
+        (**self).load_arch(snap);
     }
 }
 

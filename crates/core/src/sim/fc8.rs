@@ -11,7 +11,7 @@
 //! [`Core`] trait.
 
 use crate::error::SimError;
-use crate::exec::{Core, Engine, ExecState, Flow};
+use crate::exec::{Core, Engine, ExecState, Flow, Snapshot};
 use crate::io::{InputPort, OutputPort};
 use crate::isa::fc8::{Instruction, IPORT_ADDR, MEM_WORDS, OPORT_ADDR};
 use crate::isa::sign_extend;
@@ -297,6 +297,16 @@ impl Core for Fc8Core {
     #[inline]
     fn event_acc(&self) -> u8 {
         self.acc
+    }
+
+    fn save_arch(&self, snap: &mut Snapshot) {
+        snap.acc = self.acc;
+        snap.mem = self.mem.to_vec();
+    }
+
+    fn load_arch(&mut self, snap: &Snapshot) {
+        self.acc = snap.acc;
+        self.mem.copy_from_slice(&snap.mem);
     }
 }
 

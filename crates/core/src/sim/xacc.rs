@@ -22,7 +22,7 @@
 //! the [`Core`] trait.
 
 use crate::error::SimError;
-use crate::exec::{Core, Engine, ExecState, Flow, PC_MASK};
+use crate::exec::{Core, Engine, ExecState, Flow, Snapshot, PC_MASK};
 use crate::io::{InputPort, OutputPort};
 use crate::isa::features::FeatureSet;
 use crate::isa::sign_extend;
@@ -438,6 +438,20 @@ impl Core for XaccCore {
     #[inline]
     fn event_acc(&self) -> u8 {
         self.acc
+    }
+
+    fn save_arch(&self, snap: &mut Snapshot) {
+        snap.acc = self.acc;
+        snap.ra = self.ra;
+        snap.flags = u8::from(self.carry);
+        snap.mem = self.mem.to_vec();
+    }
+
+    fn load_arch(&mut self, snap: &Snapshot) {
+        self.acc = snap.acc;
+        self.ra = snap.ra;
+        self.carry = snap.flags & 1 != 0;
+        self.mem.copy_from_slice(&snap.mem);
     }
 }
 

@@ -17,7 +17,7 @@
 //! [`Core`] trait.
 
 use crate::error::SimError;
-use crate::exec::{Core, Engine, ExecState, Flow, PC_MASK};
+use crate::exec::{Core, Engine, ExecState, Flow, Snapshot, PC_MASK};
 use crate::io::{InputPort, OutputPort};
 use crate::isa::features::FeatureSet;
 use crate::isa::sign_extend;
@@ -410,6 +410,26 @@ impl Core for XlsCore {
             mem: &mut self.regs,
             data_mask: WIDTH_MASK,
         }
+    }
+
+    fn save_arch(&self, snap: &mut Snapshot) {
+        snap.ra = self.ra;
+        snap.flags = u8::from(self.flags.n)
+            | u8::from(self.flags.z) << 1
+            | u8::from(self.flags.p) << 2
+            | u8::from(self.flags.c) << 3;
+        snap.mem = self.regs.to_vec();
+    }
+
+    fn load_arch(&mut self, snap: &Snapshot) {
+        self.ra = snap.ra;
+        self.flags = Flags {
+            n: snap.flags & 1 != 0,
+            z: snap.flags & 2 != 0,
+            p: snap.flags & 4 != 0,
+            c: snap.flags & 8 != 0,
+        };
+        self.regs.copy_from_slice(&snap.mem);
     }
 }
 

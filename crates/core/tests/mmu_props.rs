@@ -1,0 +1,122 @@
+//! Property tests for the MMU escape-sequence transducer (§5.1).
+//!
+//! The page register is the only piece of state that redirects *every*
+//! subsequent fetch, so an accidental page change silently corrupts the
+//! rest of the run. These properties pin down when a change can happen
+//! at all: only a complete `0xE, 0xD, page` sequence on the output port
+//! commits, and only after exactly [`COMMIT_DELAY`] ticks.
+
+use flexicore::mmu::{Mmu, COMMIT_DELAY, ESCAPE_1, ESCAPE_2};
+use proptest::prelude::*;
+
+/// Reference recognizer: a commit can occur iff the masked stream
+/// contains an adjacent `(ESCAPE_1, ESCAPE_2)` pair with at least one
+/// value after it (the page operand). Derived independently of the
+/// transducer's state machine: reaching the armed state requires the
+/// pair, and the next value always commits.
+fn has_full_prefix(stream: &[u8]) -> bool {
+    stream.windows(3).any(|w| {
+        let (a, b) = (w[0] & 0xF, w[1] & 0xF);
+        a == ESCAPE_1 && b == ESCAPE_2
+    })
+}
+
+/// Feed a stream the way the engine does: one tick per instruction
+/// slot, then the output value. Returns the number of recognized
+/// sequences.
+fn feed(mmu: &mut Mmu, stream: &[u8]) -> usize {
+    let mut commits = 0;
+    for &v in stream {
+        mmu.tick();
+        if mmu.observe(v) {
+            commits += 1;
+        }
+    }
+    commits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Arbitrary output traffic changes the page iff it carries the
+    /// full escape prefix — no partial sequence, interleaved tick, or
+    /// high-bit garbage (values are masked to 4 bits) ever commits.
+    #[test]
+    fn page_changes_require_the_full_prefix(
+        stream in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let mut mmu = Mmu::new();
+        let commits = feed(&mut mmu, &stream);
+        // drain the delay line so a pending commit becomes visible
+        for _ in 0..COMMIT_DELAY {
+            mmu.tick();
+        }
+        if has_full_prefix(&stream) {
+            prop_assert!(commits > 0, "complete sequence must be recognized");
+        } else {
+            prop_assert_eq!(commits, 0, "no complete sequence in {stream:?}");
+            prop_assert_eq!(mmu.page(), 0);
+            prop_assert_eq!(mmu.pending_page(), None);
+        }
+    }
+
+    /// A recognized sequence commits after exactly `COMMIT_DELAY`
+    /// ticks: never earlier, never later, regardless of pair-free noise
+    /// fed before the sequence or while the delay line drains.
+    #[test]
+    fn commit_delay_is_exact(
+        page in 0u8..16,
+        noise in proptest::collection::vec(0u8..=255, 0..16),
+        drain_noise in proptest::collection::vec(0u8..=255, 3..=3),
+    ) {
+        // strip accidental escape pairs so the noise stays noise
+        let noise: Vec<u8> = noise
+            .into_iter()
+            .filter(|v| {
+                let m = v & 0xF;
+                m != ESCAPE_1 && m != ESCAPE_2
+            })
+            .collect();
+        let mut mmu = Mmu::new();
+        feed(&mut mmu, &noise);
+        prop_assert_eq!(mmu.page(), 0);
+
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        prop_assert!(mmu.observe(page));
+        prop_assert_eq!(mmu.pending_page(), Some(page));
+
+        // output traffic during the delay must not disturb the commit,
+        // even though it resets the recognizer state
+        for (i, &v) in drain_noise.iter().enumerate().take(COMMIT_DELAY as usize) {
+            prop_assert_eq!(mmu.page(), 0, "tick {i}: committed early");
+            mmu.tick();
+            let m = v & 0xF;
+            if m != ESCAPE_1 && m != ESCAPE_2 {
+                mmu.observe(m);
+            }
+        }
+        prop_assert_eq!(mmu.page(), page);
+        prop_assert_eq!(mmu.pending_page(), None);
+    }
+
+    /// A second full sequence arriving before the first commits
+    /// replaces the pending page — the delay line holds one entry, and
+    /// the *latest* recognized page wins.
+    #[test]
+    fn later_sequence_replaces_pending_page(first in 0u8..16, second in 0u8..16) {
+        let mut mmu = Mmu::new();
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        mmu.observe(first);
+        // immediately recognize a second sequence (3 observes, no ticks)
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        mmu.observe(second);
+        prop_assert_eq!(mmu.pending_page(), Some(second));
+        for _ in 0..COMMIT_DELAY {
+            mmu.tick();
+        }
+        prop_assert_eq!(mmu.page(), second);
+    }
+}

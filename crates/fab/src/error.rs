@@ -9,12 +9,15 @@ pub enum FabError {
     /// The design netlist failed integrity validation (combinational
     /// loop, multiply-driven net, …).
     Netlist(NetlistError),
+    /// Lot statistics were requested for a lot with zero wafers.
+    EmptyLot,
 }
 
 impl core::fmt::Display for FabError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             FabError::Netlist(e) => write!(f, "design netlist is malformed: {e}"),
+            FabError::EmptyLot => write!(f, "lot has no wafers"),
         }
     }
 }
@@ -23,6 +26,7 @@ impl std::error::Error for FabError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FabError::Netlist(e) => Some(e),
+            FabError::EmptyLot => None,
         }
     }
 }

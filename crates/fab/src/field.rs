@@ -123,7 +123,7 @@ impl FieldScreen {
         };
         dies.iter()
             .map(|lane| match &lane.status {
-                LaneStatus::Done(r) if !r.halted() => ScreenVerdict::Hung,
+                LaneStatus::Hung(_) => ScreenVerdict::Hung,
                 LaneStatus::Done(_) if lane.output.values() == golden_outputs => {
                     ScreenVerdict::Pass
                 }

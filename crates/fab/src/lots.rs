@@ -71,7 +71,7 @@ impl Lot {
             let scale = (z * WAFER_TO_WAFER_SIGMA).exp();
             let wafer_seed = seed.wrapping_add(w as u64).wrapping_mul(0x9E37_79B9);
             let variations = draw_wafer(design.recipe(), wafer_seed, layout.sites(), area * scale);
-            let outcomes = tester.test_wafer(&variations, voltage);
+            let outcomes = tester.test_wafer(&variations, voltage)?;
             let currents = variations
                 .iter()
                 .map(|v| crate::current::die_current_ma(nominal_ma, v, voltage))
@@ -101,12 +101,14 @@ impl Lot {
 
     /// Yield statistics across the lot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty lot.
-    #[must_use]
-    pub fn stats(&self) -> LotStats {
-        assert!(!self.runs.is_empty(), "lot has no wafers");
+    /// [`FabError::EmptyLot`](crate::FabError) when the lot holds zero
+    /// wafers — there is no distribution to summarize.
+    pub fn stats(&self) -> Result<LotStats, crate::FabError> {
+        if self.runs.is_empty() {
+            return Err(crate::FabError::EmptyLot);
+        }
         let yields: Vec<f64> = self.runs.iter().map(WaferRun::yield_inclusion).collect();
         let n = yields.len() as f64;
         let mean = yields.iter().sum::<f64>() / n;
@@ -118,14 +120,14 @@ impl Lot {
             .filter(|o| o.functional())
             .count();
         let total = self.runs.iter().map(|r| r.outcomes.len()).sum();
-        LotStats {
+        Ok(LotStats {
             mean_yield: mean,
             min_yield: yields.iter().copied().fold(f64::INFINITY, f64::min),
             max_yield: yields.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             yield_sigma: var.sqrt(),
             good_dies: good,
             total_dies: total,
-        }
+        })
     }
 
     /// Pooled current statistics over every functional die in the lot.
@@ -153,7 +155,7 @@ mod tests {
     #[test]
     fn lot_of_four_wafers_yields_in_band() {
         let lot = Lot::fabricate(CoreDesign::FlexiCore4, 4, 11, 4.5, 800).unwrap();
-        let s = lot.stats();
+        let s = lot.stats().unwrap();
         assert_eq!(lot.runs().len(), 4);
         assert!(s.total_dies > 400);
         assert!((0.5..1.0).contains(&s.mean_yield), "{s:?}");
@@ -163,7 +165,7 @@ mod tests {
     #[test]
     fn wafer_to_wafer_spread_is_visible() {
         let lot = Lot::fabricate(CoreDesign::FlexiCore4, 6, 5, 4.5, 500).unwrap();
-        let s = lot.stats();
+        let s = lot.stats().unwrap();
         assert!(s.yield_sigma > 0.005, "wafers should differ: {s:?}");
         assert!(s.max_yield - s.min_yield > 0.01, "{s:?}");
     }
@@ -172,11 +174,19 @@ mod tests {
     fn lots_are_reproducible() {
         let a = Lot::fabricate(CoreDesign::FlexiCore8, 2, 3, 3.0, 300)
             .unwrap()
-            .stats();
+            .stats()
+            .unwrap();
         let b = Lot::fabricate(CoreDesign::FlexiCore8, 2, 3, 3.0, 300)
             .unwrap()
-            .stats();
+            .stats()
+            .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_lot_reports_an_error_not_a_panic() {
+        let lot = Lot::fabricate(CoreDesign::FlexiCore4, 0, 1, 4.5, 100).unwrap();
+        assert!(matches!(lot.stats(), Err(crate::FabError::EmptyLot)));
     }
 
     #[test]

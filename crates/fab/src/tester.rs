@@ -133,11 +133,20 @@ impl<'a> Tester<'a> {
     }
 
     /// Test every die of `dies` at `voltage`.
-    #[must_use]
-    pub fn test_wafer(&self, dies: &[DieVariation], voltage: f64) -> Vec<DieOutcome> {
+    ///
+    /// # Errors
+    ///
+    /// [`FabError::Netlist`] if the batch simulator rejects the netlist.
+    /// [`Tester::new`] runs the same validation, so this only fires if
+    /// the netlist was mutated behind the tester's back.
+    pub fn test_wafer(
+        &self,
+        dies: &[DieVariation],
+        voltage: f64,
+    ) -> Result<Vec<DieOutcome>, FabError> {
         let mut outcomes = Vec::with_capacity(dies.len());
         for chunk in dies.chunks(63) {
-            let defect_errors = self.test_chunk(chunk);
+            let defect_errors = self.test_chunk(chunk)?;
             for (die, defects) in chunk.iter().zip(defect_errors) {
                 let timing_errors = self.timing_errors(die, voltage);
                 outcomes.push(DieOutcome {
@@ -146,15 +155,14 @@ impl<'a> Tester<'a> {
                 });
             }
         }
-        outcomes
+        Ok(outcomes)
     }
 
     /// Run the vector set once with up to 63 faulty dies in lanes 1..;
     /// lane 0 is the golden reference. Returns per-die mismatch counts.
-    fn test_chunk(&self, dies: &[DieVariation]) -> Vec<u64> {
+    fn test_chunk(&self, dies: &[DieVariation]) -> Result<Vec<u64>, FabError> {
         debug_assert!(dies.len() <= 63);
-        // Tester::new already ran the only validation BatchSim::new does.
-        let mut sim = BatchSim::new(self.netlist).expect("netlist validated by Tester::new");
+        let mut sim = BatchSim::new(self.netlist)?;
         for (i, die) in dies.iter().enumerate() {
             let lane = 1 << (i + 1);
             for site in random_sites(self.netlist, die.defect_count as usize, die.defect_seed) {
@@ -189,7 +197,7 @@ impl<'a> Tester<'a> {
                 }
             }
         }
-        errors
+        Ok(errors)
     }
 
     /// Errors from missed timing: zero when the die's fmax clears the test
@@ -227,7 +235,7 @@ pub fn fault_coverage(netlist: &Netlist, plan: TestPlan) -> Result<f64, FabError
     }
     let mut detected = 0usize;
     for chunk in sites.chunks(63) {
-        let mut sim = BatchSim::new(netlist).expect("netlist validated by Tester::new");
+        let mut sim = BatchSim::new(netlist)?;
         for (i, site) in chunk.iter().enumerate() {
             sim.inject(site.net, site.stuck_at_one, 1 << (i + 1));
         }
@@ -282,7 +290,7 @@ mod tests {
         let netlist = flexrtl::build_fc4();
         let tester = Tester::new(&netlist, TestPlan::quick(500)).unwrap();
         for v in [3.0, 4.5] {
-            let out = tester.test_wafer(&[clean_die(); 5], v);
+            let out = tester.test_wafer(&[clean_die(); 5], v).unwrap();
             assert!(out.iter().all(DieOutcome::functional), "at {v} V: {out:?}");
         }
     }
@@ -298,7 +306,7 @@ mod tests {
                 ..clean_die()
             })
             .collect();
-        let out = tester.test_wafer(&dies, 4.5);
+        let out = tester.test_wafer(&dies, 4.5).unwrap();
         let failing = out.iter().filter(|o| !o.functional()).count();
         assert!(failing >= 30, "only {failing}/40 defective dies failed");
         // failing dies show many errors, like Figure 6's hot dies
@@ -313,9 +321,9 @@ mod tests {
             delay_factor: 1.3,
             ..clean_die()
         };
-        let at45 = tester.test_wafer(&[slow], 4.5);
+        let at45 = tester.test_wafer(&[slow], 4.5).unwrap();
         assert!(at45[0].functional(), "{at45:?}");
-        let at30 = tester.test_wafer(&[slow], 3.0);
+        let at30 = tester.test_wafer(&[slow], 3.0).unwrap();
         assert!(!at30[0].functional(), "{at30:?}");
         assert!(at30[0].timing_errors > 0);
     }
@@ -336,7 +344,7 @@ mod tests {
         let netlist = flexrtl::build_fc4();
         let tester = Tester::new(&netlist, TestPlan::quick(200)).unwrap();
         let dies = vec![clean_die(); 130];
-        let out = tester.test_wafer(&dies, 4.5);
+        let out = tester.test_wafer(&dies, 4.5).unwrap();
         assert_eq!(out.len(), 130);
         assert!(out.iter().all(DieOutcome::functional));
     }

@@ -208,7 +208,7 @@ impl WaferExperiment {
     /// fails integrity validation.
     pub fn run(&self, voltage: f64, vector_cycles: u64) -> Result<WaferRun, crate::FabError> {
         let tester = Tester::new(&self.netlist, TestPlan::quick(vector_cycles))?;
-        let outcomes = tester.test_wafer(&self.variations, voltage);
+        let outcomes = tester.test_wafer(&self.variations, voltage)?;
         let nominal = Report::of(&self.netlist).total.static_current_ma(4.5);
         let currents = self
             .variations

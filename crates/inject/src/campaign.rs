@@ -200,7 +200,13 @@ pub fn classify(result: Result<flexkernels::KernelRun, RunError>) -> Outcome {
     }
 }
 
-fn draw_fault(
+/// Draw one fault from `model`'s population: a uniformly chosen site
+/// from `site_list`, stuck at a random polarity — or, for transients, a
+/// one-shot flip scheduled uniformly inside the `clean_cycles` window.
+/// Exposed so other campaign-style consumers (the resilient executor's
+/// recovery campaigns) draw from the identical population with their
+/// own RNG streams.
+pub fn draw_fault(
     rng: &mut StdRng,
     site_list: &[FaultSite],
     model: FaultModel,

@@ -34,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod pool;
 pub mod report;
 pub mod salvage;
 pub mod sites;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultModel, Outcome, Trial};
+pub use pool::{PoolDie, SalvagePool};
 pub use report::Tally;
 pub use salvage::{SalvageAnalysis, SalvageConfig};
 

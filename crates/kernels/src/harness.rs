@@ -193,7 +193,9 @@ impl PreparedKernel {
             .into_iter()
             .zip(inputs)
             .map(|(lane, inputs)| match lane.status {
-                LaneStatus::Done(result) => self.verify(&inputs, lane.output.values(), result),
+                LaneStatus::Done(result) | LaneStatus::Hung(result) => {
+                    self.verify(&inputs, lane.output.values(), result)
+                }
                 LaneStatus::Faulted(e) => Err(RunError::Sim(e)),
                 LaneStatus::Running => unreachable!("run_to_completion retires every lane"),
             })

@@ -1,0 +1,144 @@
+//! Aggregation and text rendering of recovery campaign results.
+
+use crate::campaign::{RecoveryCampaign, ResilientOutcome, ResilientTrial};
+
+/// Outcome counts over a set of resilient trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceTally {
+    /// Oracle-exact with zero retries.
+    pub masked: usize,
+    /// Oracle-exact after rollback / reassignment.
+    pub recovered: usize,
+    /// Wrong output despite the machinery.
+    pub unrecoverable: usize,
+    /// Total retry attempts spent across the counted trials.
+    pub retries: u32,
+}
+
+impl ResilienceTally {
+    /// Count the outcomes of `trials`.
+    #[must_use]
+    pub fn of(trials: &[ResilientTrial]) -> ResilienceTally {
+        let mut t = ResilienceTally::default();
+        for trial in trials {
+            t.retries += trial.retries;
+            match trial.outcome {
+                ResilientOutcome::Masked => t.masked += 1,
+                ResilientOutcome::Recovered => t.recovered += 1,
+                ResilientOutcome::Unrecoverable => t.unrecoverable += 1,
+            }
+        }
+        t
+    }
+
+    /// Total trials counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.masked + self.recovered + self.unrecoverable
+    }
+
+    /// Fraction masked.
+    #[must_use]
+    pub fn masked_rate(&self) -> f64 {
+        self.rate(self.masked)
+    }
+
+    /// Fraction recovered.
+    #[must_use]
+    pub fn recovered_rate(&self) -> f64 {
+        self.rate(self.recovered)
+    }
+
+    /// Fraction that survived (masked plus recovered).
+    #[must_use]
+    pub fn survival_rate(&self) -> f64 {
+        self.rate(self.masked + self.recovered)
+    }
+
+    fn rate(&self, n: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        }
+    }
+}
+
+/// Render a recovery campaign as the CLI's table: one row per
+/// injection, then the tally.
+#[must_use]
+pub fn render_recovery_campaign(campaign: &RecoveryCampaign) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let cfg = &campaign.config;
+    let _ = writeln!(
+        out,
+        "# {} on {:?} under {}: {} faults, seed {}, budget {}",
+        cfg.kernel, cfg.target.dialect, cfg.mode, cfg.trials, cfg.seed, cfg.budget
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<18} {:<5} {:<8} outcome",
+        "trial", "fault", "lane", "retries"
+    );
+    for (i, t) in campaign.trials.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<18} {:<5} {:<8} {}",
+            i,
+            t.fault.to_string(),
+            t.lane,
+            t.retries,
+            t.outcome
+        );
+    }
+    let tally = ResilienceTally::of(&campaign.trials);
+    let _ = writeln!(
+        out,
+        "\nmasked {:>4} ({:5.1} %)   recovered {:>4} ({:5.1} %)   unrecoverable {:>4} ({:5.1} %)   retries {}",
+        tally.masked,
+        100.0 * tally.masked_rate(),
+        tally.recovered,
+        100.0 * tally.recovered_rate(),
+        tally.unrecoverable,
+        100.0 * (1.0 - tally.survival_rate()),
+        tally.retries,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexicore::sim::{ArchFault, FaultKind, StateElement};
+
+    fn trial(outcome: ResilientOutcome, retries: u32) -> ResilientTrial {
+        ResilientTrial {
+            fault: ArchFault {
+                element: StateElement::Acc,
+                bit: 0,
+                kind: FaultKind::StuckAt1,
+            },
+            lane: 0,
+            retries,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn tally_counts_and_rates() {
+        let trials = [
+            trial(ResilientOutcome::Masked, 0),
+            trial(ResilientOutcome::Recovered, 2),
+            trial(ResilientOutcome::Recovered, 1),
+            trial(ResilientOutcome::Unrecoverable, 9),
+        ];
+        let t = ResilienceTally::of(&trials);
+        assert_eq!((t.masked, t.recovered, t.unrecoverable), (1, 2, 1));
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.retries, 12);
+        assert!((t.survival_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ResilienceTally::default().survival_rate(), 0.0);
+    }
+}

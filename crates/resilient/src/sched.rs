@@ -1,0 +1,300 @@
+//! Degraded-mode scheduling: build voting quorums from a pool of
+//! partially-defective salvaged dies.
+//!
+//! The paper's binary screen throws away every die that fails a single
+//! test vector; the salvage pool (`flexinject::pool`) keeps those dies
+//! together with their replayed architectural fault sets. This module
+//! turns a pool into execution *quorums*: groups of dies whose defect
+//! sites do not overlap, so no two members can agree on the same wrong
+//! bit and a majority vote stays trustworthy.
+//!
+//! The scheduler is greedy and works healthiest-first: it tries to
+//! assemble TMR triples, falls back to DMR-with-re-execution pairs
+//! when no third compatible die exists, and hands the dregs out as
+//! simplex-with-checkpoints singles — the degradation ladder
+//! TMR → DMR → simplex, descended as the pool shrinks.
+
+use flexicore::sim::FaultPlane;
+use flexinject::pool::{PoolDie, SalvagePool};
+
+/// A rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QuorumMode {
+    /// Triple-modular redundancy: three lanes, majority vote.
+    Tmr,
+    /// Dual-modular redundancy with checkpoint/rollback re-execution.
+    DmrReexec,
+    /// One lane with checkpoints: crashes and hangs recoverable, silent
+    /// data corruption undetectable.
+    Simplex,
+}
+
+impl QuorumMode {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QuorumMode::Tmr => "tmr",
+            QuorumMode::DmrReexec => "dmr",
+            QuorumMode::Simplex => "simplex",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<QuorumMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "tmr" | "nmr" | "3" => Some(QuorumMode::Tmr),
+            "dmr" | "dmr-reexec" | "2" => Some(QuorumMode::DmrReexec),
+            "simplex" | "1" => Some(QuorumMode::Simplex),
+            _ => None,
+        }
+    }
+
+    /// Lanes a quorum of this mode occupies.
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        match self {
+            QuorumMode::Tmr => 3,
+            QuorumMode::DmrReexec => 2,
+            QuorumMode::Simplex => 1,
+        }
+    }
+
+    /// The next rung down the ladder, or `None` below simplex.
+    #[must_use]
+    pub fn degrade(self) -> Option<QuorumMode> {
+        match self {
+            QuorumMode::Tmr => Some(QuorumMode::DmrReexec),
+            QuorumMode::DmrReexec => Some(QuorumMode::Simplex),
+            QuorumMode::Simplex => None,
+        }
+    }
+}
+
+impl core::fmt::Display for QuorumMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scheduled group of dies executing one program redundantly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quorum {
+    /// The redundancy mode the group runs under.
+    pub mode: QuorumMode,
+    /// Member dies, healthiest first.
+    pub dies: Vec<PoolDie>,
+}
+
+impl Quorum {
+    /// One armed [`FaultPlane`] per member die, in lane order.
+    #[must_use]
+    pub fn planes(&self) -> Vec<FaultPlane> {
+        self.dies
+            .iter()
+            .map(|d| FaultPlane::with_faults(d.faults.clone()))
+            .collect()
+    }
+
+    /// Total defects across the members.
+    #[must_use]
+    pub fn defects(&self) -> u32 {
+        self.dies.iter().map(|d| d.defect_count).sum()
+    }
+}
+
+/// Whether every pair in `dies ∪ {candidate}` stays site-disjoint.
+fn compatible(dies: &[&PoolDie], candidate: &PoolDie) -> bool {
+    dies.iter().all(|d| d.disjoint_with(candidate))
+}
+
+/// Partition the pool into quorums, descending the degradation ladder
+/// as material runs out.
+///
+/// Dies are considered healthiest (fewest defects) first; id order
+/// breaks ties, so the schedule is a pure function of the pool. Each
+/// TMR triple and DMR pair is pairwise fault-site-disjoint — dies whose
+/// defects overlap are never grouped, because two lanes stuck on the
+/// same bit can outvote a healthy third.
+#[must_use]
+pub fn compose(pool: &SalvagePool) -> Vec<Quorum> {
+    let mut dies = pool.dies().to_vec();
+    dies.sort_by_key(|d| (d.defect_count, d.id));
+
+    let mut quorums = Vec::new();
+    while !dies.is_empty() {
+        let chosen = pick_triple(&dies)
+            .or_else(|| pick_pair(&dies))
+            .unwrap_or(vec![0]);
+        let mode = match chosen.len() {
+            3 => QuorumMode::Tmr,
+            2 => QuorumMode::DmrReexec,
+            _ => QuorumMode::Simplex,
+        };
+        // remove back-to-front so earlier indices stay valid
+        let mut members: Vec<PoolDie> = Vec::with_capacity(chosen.len());
+        for &index in chosen.iter().rev() {
+            members.push(dies.remove(index));
+        }
+        members.reverse();
+        quorums.push(Quorum {
+            mode,
+            dies: members,
+        });
+    }
+    quorums
+}
+
+/// First (seed-anchored) pairwise-disjoint triple, healthiest first.
+fn pick_triple(dies: &[PoolDie]) -> Option<Vec<usize>> {
+    if dies.len() < 3 {
+        return None;
+    }
+    let seed = &dies[0];
+    for j in 1..dies.len() {
+        if !compatible(&[seed], &dies[j]) {
+            continue;
+        }
+        for k in j + 1..dies.len() {
+            if compatible(&[seed, &dies[j]], &dies[k]) {
+                return Some(vec![0, j, k]);
+            }
+        }
+    }
+    None
+}
+
+/// First disjoint pair anchored on the healthiest remaining die.
+fn pick_pair(dies: &[PoolDie]) -> Option<Vec<usize>> {
+    if dies.len() < 2 {
+        return None;
+    }
+    let seed = &dies[0];
+    (1..dies.len())
+        .find(|&j| compatible(&[seed], &dies[j]))
+        .map(|j| vec![0, j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexicore::isa::Dialect;
+    use flexicore::sim::{ArchFault, FaultKind, StateElement};
+
+    fn die(id: usize, sites: &[(StateElement, u8)]) -> PoolDie {
+        PoolDie {
+            id,
+            faults: sites
+                .iter()
+                .map(|&(element, bit)| ArchFault {
+                    element,
+                    bit,
+                    kind: FaultKind::StuckAt0,
+                })
+                .collect(),
+            defect_count: sites.len() as u32,
+        }
+    }
+
+    fn pool_of(dies: Vec<PoolDie>) -> SalvagePool {
+        SalvagePool::new(Dialect::Fc4, dies)
+    }
+
+    #[test]
+    fn ladder_order_and_lane_counts() {
+        assert_eq!(QuorumMode::Tmr.degrade(), Some(QuorumMode::DmrReexec));
+        assert_eq!(QuorumMode::DmrReexec.degrade(), Some(QuorumMode::Simplex));
+        assert_eq!(QuorumMode::Simplex.degrade(), None);
+        assert_eq!(QuorumMode::Tmr.lanes(), 3);
+        assert_eq!(QuorumMode::from_name("TMR"), Some(QuorumMode::Tmr));
+        assert_eq!(QuorumMode::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn disjoint_dies_form_tmr_triples() {
+        let pool = pool_of(vec![
+            PoolDie::clean(0),
+            die(1, &[(StateElement::Acc, 0)]),
+            die(2, &[(StateElement::Acc, 1)]),
+            die(3, &[(StateElement::Pc, 0)]),
+            die(4, &[(StateElement::Pc, 1)]),
+            die(5, &[(StateElement::Mem(0), 2)]),
+        ]);
+        let quorums = compose(&pool);
+        assert_eq!(quorums.len(), 2);
+        assert!(quorums.iter().all(|q| q.mode == QuorumMode::Tmr));
+        for q in &quorums {
+            for a in 0..q.dies.len() {
+                for b in a + 1..q.dies.len() {
+                    assert!(q.dies[a].disjoint_with(&q.dies[b]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_defects_force_degradation() {
+        // every die shares the Acc.0 site with every other: no pair is
+        // disjoint, so the whole pool degrades to simplex singles
+        let pool = pool_of(vec![
+            die(0, &[(StateElement::Acc, 0)]),
+            die(1, &[(StateElement::Acc, 0)]),
+            die(2, &[(StateElement::Acc, 0)]),
+        ]);
+        let quorums = compose(&pool);
+        assert_eq!(quorums.len(), 3);
+        assert!(quorums.iter().all(|q| q.mode == QuorumMode::Simplex));
+    }
+
+    #[test]
+    fn shrinking_pool_descends_the_ladder() {
+        // 3 dies -> one TMR; 2 -> one DMR; 1 -> simplex
+        let fresh = |n: usize| pool_of((0..n).map(PoolDie::clean).collect());
+        assert_eq!(compose(&fresh(3))[0].mode, QuorumMode::Tmr);
+        assert_eq!(compose(&fresh(2))[0].mode, QuorumMode::DmrReexec);
+        assert_eq!(compose(&fresh(1))[0].mode, QuorumMode::Simplex);
+        assert!(compose(&fresh(0)).is_empty());
+    }
+
+    #[test]
+    fn leftover_after_triples_becomes_a_pair() {
+        let pool = pool_of(vec![
+            PoolDie::clean(0),
+            PoolDie::clean(1),
+            PoolDie::clean(2),
+            die(3, &[(StateElement::Pc, 3)]),
+            die(4, &[(StateElement::Pc, 4)]),
+        ]);
+        let quorums = compose(&pool);
+        let modes: Vec<QuorumMode> = quorums.iter().map(|q| q.mode).collect();
+        assert_eq!(modes, vec![QuorumMode::Tmr, QuorumMode::DmrReexec]);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_over_synthetic_pools() {
+        let pool = SalvagePool::synthetic(Dialect::Fc4, 20, 9, 3);
+        let a = compose(&pool);
+        let b = compose(&pool);
+        assert_eq!(a, b);
+        // every die appears exactly once
+        let mut ids: Vec<usize> = a.iter().flat_map(|q| q.dies.iter().map(|d| d.id)).collect();
+        ids.sort_unstable();
+        let mut expected: Vec<usize> = pool.dies().iter().map(|d| d.id).collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn quorum_planes_carry_the_die_faults() {
+        let q = Quorum {
+            mode: QuorumMode::DmrReexec,
+            dies: vec![PoolDie::clean(0), die(1, &[(StateElement::Acc, 2)])],
+        };
+        let planes = q.planes();
+        assert_eq!(planes.len(), 2);
+        assert!(planes[0].is_empty());
+        assert_eq!(planes[1].faults().len(), 1);
+        assert_eq!(q.defects(), 1);
+    }
+}
