@@ -15,6 +15,11 @@ echo "== resilience smoke =="
 # mode: they are the slowest property-style tests and fail fastest here
 cargo test --release --offline -p flexresilient -q
 
+echo "== link soak smoke =="
+# end-to-end field-reprogramming soak: every kernel transferred over a
+# noisy channel, upset in service, and still oracle-exact
+cargo test --release --offline -p flexlink -q --test soak_acceptance
+
 echo "== cargo test =="
 cargo test --offline --workspace -q
 
@@ -26,8 +31,8 @@ echo "== cargo doc =="
 # must not be held to -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p flexicore -p flexasm -p flexgate -p flexrtl -p flexfab \
-    -p flexkernels -p flexinject -p flexresilient -p flexdse -p flexcli \
-    -p flexbench
+    -p flexkernels -p flexinject -p flexresilient -p flexlink -p flexdse \
+    -p flexcli -p flexbench
 
 echo "== cargo clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

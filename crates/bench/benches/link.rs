@@ -1,0 +1,95 @@
+//! What does the field-reprogramming link cost?
+//!
+//! Three layers, measured separately: the SECDED(13,8) codec itself
+//! (the per-byte floor every store access pays), a whole-image
+//! transfer over clean and noisy channels (protocol + CRC + read-back
+//! overhead, including retransmissions), and a full linked kernel run
+//! against the same kernel executed bare — the end-to-end price of
+//! checkpointed segments, periodic scrubbing and store
+//! re-materialization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flexasm::Target;
+use flexicore::sim::FaultPlane;
+use flexkernels::{inputs::Sampler, Kernel};
+use flexlink::channel::{ChannelConfig, NoisyChannel};
+use flexlink::ecc;
+use flexlink::exec::{LinkExecConfig, LinkedExecutor};
+use flexlink::protocol::{program_store, LinkConfig};
+use flexlink::store::EccStore;
+
+const IMAGE_BYTES: usize = 1024;
+
+fn golden(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn bench_secded_codec(c: &mut Criterion) {
+    let image = golden(IMAGE_BYTES);
+    let words: Vec<u16> = image.iter().map(|&b| ecc::encode(b)).collect();
+    let mut group = c.benchmark_group("secded_codec");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.bench_function("encode_1k", |b| {
+        b.iter(|| image.iter().map(|&byte| ecc::encode(byte)).sum::<u16>());
+    });
+    group.bench_function("decode_1k", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .map(|&w| u64::from(ecc::decode(w).data()))
+                .sum::<u64>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let image = golden(IMAGE_BYTES);
+    let mut group = c.benchmark_group("link_transfer");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    for (label, ber) in [("clean", 0.0), ("ber_1e-3", 1e-3)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut store = EccStore::erased(image.len());
+                let mut channel = NoisyChannel::new(ChannelConfig::with_bit_error_rate(ber), 42);
+                program_store(&image, &mut store, &mut channel, LinkConfig::default())
+                    .backoff_cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_linked_run(c: &mut Criterion) {
+    let target = Target::fc4();
+    let kernel = Kernel::XorShift8;
+    let program = kernel.assemble(target).unwrap().into_program();
+    let inputs = Sampler::new(kernel, 9).draw();
+    let mut group = c.benchmark_group("linked_execution");
+    group.bench_function("bare_xorshift", |b| {
+        b.iter(|| kernel.run(target, &inputs).unwrap().result.instructions);
+    });
+    group.bench_function("linked_xorshift", |b| {
+        let executor = LinkedExecutor::new(
+            target,
+            program.clone(),
+            LinkConfig::default(),
+            LinkExecConfig::default(),
+        );
+        b.iter(|| {
+            executor
+                .run(&inputs, ChannelConfig::clean(), 9, &[], FaultPlane::new())
+                .outputs
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_secded_codec,
+    bench_transfer,
+    bench_linked_run
+);
+criterion_main!(benches);

@@ -141,6 +141,26 @@ impl Args {
         }
     }
 
+    /// Comma-separated f64 list (`--rates 0,1e-4,5e-4`).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for unparsable entries.
+    pub fn f64_list(&mut self, name: &str) -> Result<Vec<f64>, CliError> {
+        match self.flag(name) {
+            None => Ok(Vec::new()),
+            Some(v) => v
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad value in --{name}: `{s}`")))
+                })
+                .collect(),
+        }
+    }
+
     /// Reject unrecognised flags (call after a command consumed its own).
     ///
     /// # Errors
@@ -226,6 +246,14 @@ mod tests {
     fn u8_list_parses_decimal_and_hex() {
         let mut a = parse(&["--input", "1,0xA, 3"]);
         assert_eq!(a.u8_list("input").unwrap(), vec![1, 0xA, 3]);
+    }
+
+    #[test]
+    fn f64_list_parses_scientific_notation() {
+        let mut a = parse(&["--rates", "0, 1e-4,5e-4"]);
+        assert_eq!(a.f64_list("rates").unwrap(), vec![0.0, 1e-4, 5e-4]);
+        let mut b = parse(&["--rates", "often"]);
+        assert!(b.f64_list("rates").is_err());
     }
 
     #[test]

@@ -47,6 +47,9 @@ commands:
           [--budget N] [--mode stuck|transient|mixed]
           [--quorum tmr|dmr|simplex] [--window N] [--interval N]
           [--retries N] [--spares N]
+  link    [--dialect fc4|fc8|xacc|xls] [--kernel K] [--rates R1,R2,..]
+          [--seed N] [--upsets N] [--interval N] [--scrub N] [--retries N]
+          [--budget N]
   dse
   help
 
@@ -436,6 +439,57 @@ pub fn resilient(args: &mut Args) -> Result<String, CliError> {
     Ok(flexresilient::render_recovery_campaign(&campaign))
 }
 
+/// `flexi link` — soak the field-reprogramming link: program every
+/// kernel through a noisy channel across a bit-error-rate sweep, upset
+/// the ECC store while it executes, and print the per-trial
+/// masked / recovered / unrecoverable table.
+///
+/// # Errors
+///
+/// Usage errors, or [`CliError::Run`] if a configured kernel does not
+/// assemble for the dialect.
+pub fn link(args: &mut Args) -> Result<String, CliError> {
+    use flexlink::soak::{run_soak, SoakConfig};
+
+    let dialect = args.flag("dialect").unwrap_or_else(|| "fc4".to_string());
+    let target = flexinject::target_from_name(&dialect).ok_or_else(|| {
+        CliError::Usage(format!("unknown dialect `{dialect}` (fc4, fc8, xacc, xls)"))
+    })?;
+    let mut rates = args.f64_list("rates")?;
+    if rates.is_empty() {
+        rates = vec![0.0, 1e-4, 5e-4];
+    }
+    if let Some(bad) = rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+        return Err(CliError::Usage(format!(
+            "bit-error rate {bad} outside [0, 1]"
+        )));
+    }
+    let mut config = SoakConfig::new(target, rates, args.num("seed", 0x11FEu64)?);
+    if let Some(kernel_name) = args.flag("kernel") {
+        let kernel = flexinject::kernel_from_name(&kernel_name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown kernel `{kernel_name}`; run `flexi kernels` for the list"
+            ))
+        })?;
+        if !kernel.supports(target.dialect) {
+            return Err(CliError::Usage(format!(
+                "kernel `{}` does not fit the {} dialect (§3.3 capacity trade-off)",
+                kernel.name(),
+                target.dialect,
+            )));
+        }
+        config.kernels = vec![kernel];
+    }
+    config.upsets_per_trial = args.num("upsets", config.upsets_per_trial)?;
+    config.exec.interval = args.num("interval", config.exec.interval)?;
+    config.exec.scrub_interval = args.num("scrub", config.exec.scrub_interval)?;
+    config.exec.budget = args.num("budget", config.exec.budget)?;
+    config.link.max_retries = args.num("retries", config.link.max_retries)?;
+
+    let campaign = run_soak(config).map_err(|e| CliError::Run(e.to_string()))?;
+    Ok(flexlink::report::render(&campaign))
+}
+
 /// `flexi dse` — print the §6 summary.
 ///
 /// # Errors
@@ -652,6 +706,25 @@ mod tests {
         .unwrap();
         assert!(out.contains("under dmr"), "{out}");
         assert!(out.contains("masked"), "{out}");
+    }
+
+    #[test]
+    fn link_soaks_and_replays_deterministically() {
+        let argv = &[
+            "link", "--kernel", "parity", "--rates", "0,2e-4", "--seed", "23",
+        ];
+        let a = call(argv).unwrap();
+        let b = call(argv).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("seed 23"), "{a}");
+        assert!(a.contains("survival"), "{a}");
+        assert!(a.contains("unrecoverable"), "{a}");
+    }
+
+    #[test]
+    fn link_rejects_out_of_range_rates() {
+        let err = call(&["link", "--rates", "1.5"]).unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
     }
 
     #[test]

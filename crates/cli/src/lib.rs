@@ -22,6 +22,9 @@
 //!               [--seed N] [--budget N] [--mode stuck|transient|mixed]
 //!               [--quorum tmr|dmr|simplex] [--window N] [--interval N]
 //!               [--retries N] [--spares N]
+//! flexi link    [--dialect fc4|fc8|xacc|xls] [--kernel K] [--rates R1,R2,..]
+//!               [--seed N] [--upsets N] [--interval N] [--scrub N]
+//!               [--retries N] [--budget N]
 //! flexi dse
 //! ```
 //!
@@ -59,6 +62,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "wafer" => commands::wafer(&mut args)?,
         "inject" => commands::inject(&mut args)?,
         "resilient" => commands::resilient(&mut args)?,
+        "link" => commands::link(&mut args)?,
         "dse" => commands::dse(&mut args)?,
         "help" | "--help" | "-h" => commands::usage(),
         other => {

@@ -38,6 +38,20 @@ pub enum SimError {
         /// The full fetch address of the first (opcode) byte.
         address: u32,
     },
+    /// The MMU page register selects a page that starts beyond the end
+    /// of the loaded program image.
+    ///
+    /// A healthy program can only reach a page it actually branched to,
+    /// so this indicates a corrupted page register or pending-commit
+    /// latch (a §5.1 MMU fault site). The engine raises it *before* the
+    /// fetch, so a resilient executor sees a recoverable lane fault
+    /// instead of silently running noise from an unmapped page.
+    PageOutOfRange {
+        /// The 4-bit page the MMU selected.
+        page: u8,
+        /// The size of the loaded program image in bytes.
+        program_len: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -62,6 +76,11 @@ impl fmt::Display for SimError {
                 f,
                 "two-byte instruction at address {address:#06x} is truncated \
                  by the end of the program image"
+            ),
+            SimError::PageOutOfRange { page, program_len } => write!(
+                f,
+                "mmu page register selects page {page} but the \
+                 {program_len}-byte program image ends before it"
             ),
         }
     }

@@ -467,6 +467,8 @@ impl<C: Core, F: FaultHook> Engine<C, F> {
     ///
     /// # Errors
     ///
+    /// * [`SimError::PageOutOfRange`] if a (corrupted) nonzero page
+    ///   register selects a page beyond the program image,
     /// * [`SimError::FetchOutOfBounds`] if the fetch address is outside
     ///   the program image,
     /// * [`SimError::IllegalInstruction`] /
@@ -479,9 +481,27 @@ impl<C: Core, F: FaultHook> Engine<C, F> {
     {
         let state = self.core.state_mut();
         state.mmu.tick();
+        let page = state.mmu.page();
         let page_pc = state.mmu.extend(state.pc);
         let start_cycle = state.cycle;
         let address = self.core.fetch_address(page_pc);
+
+        // Corrupt-page guard: a page whose first byte lies beyond the
+        // image can only come from a corrupted page register or
+        // pending-commit latch (software cannot branch to code that was
+        // never programmed), so it surfaces as its own recoverable
+        // fault rather than a generic out-of-bounds fetch. Page 0 is
+        // exempt — running off the end of an unpaged program keeps its
+        // historical `FetchOutOfBounds` classification.
+        if page != 0 {
+            let base = self.core.fetch_address(u32::from(page) << 7) as usize;
+            if base >= self.core.state().program.len() {
+                return Err(SimError::PageOutOfRange {
+                    page,
+                    program_len: self.core.state().program.len(),
+                });
+            }
+        }
 
         let window = self.core.state().program.window(address);
         if window.is_empty() {

@@ -93,7 +93,10 @@ impl Op {
     ];
 
     fn code(self) -> u16 {
-        Op::ALL.iter().position(|o| *o == self).unwrap() as u16
+        Op::ALL
+            .iter()
+            .position(|o| *o == self)
+            .expect("Op::ALL enumerates every Op variant") as u16
     }
 
     fn from_code(code: u16) -> Option<Op> {

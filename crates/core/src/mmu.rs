@@ -102,6 +102,19 @@ impl Mmu {
         (u32::from(self.page) << 7) | u32::from(pc & 0x7F)
     }
 
+    /// The fault-injection view of the MMU's two registers: the
+    /// committed page register, and the pending-commit latch while a
+    /// page change is in flight (`None` otherwise). Both are 4-bit;
+    /// hooks must not set bits outside `0xF`.
+    ///
+    /// The page register sits on the off-chip programming board, so it
+    /// is exactly as exposed to substrate defects and upsets as the
+    /// core's own state — this view is what lets `flexinject` campaigns
+    /// target it.
+    pub fn fault_view(&mut self) -> (&mut u8, Option<&mut u8>) {
+        (&mut self.page, self.pending.as_mut().map(|(p, _)| p))
+    }
+
     /// Advance the delay line by one instruction slot, committing a pending
     /// page change whose delay has elapsed. Call at the start of each step,
     /// before the instruction fetch.

@@ -38,6 +38,13 @@ pub enum StateElement {
     /// The output bus, as driven by OPORT writes (the MMU snoops the
     /// corrupted value, exactly as the external board would).
     OutputPort,
+    /// The §5.1 MMU page register (4 bits, on the off-chip programming
+    /// board): a corrupted page redirects *every* subsequent fetch.
+    PageReg,
+    /// The MMU pending-commit latch: the page value recognised by the
+    /// escape-sequence transducer while it waits out the "short delay".
+    /// Faults here land only while a page change is in flight.
+    PagePending,
 }
 
 impl fmt::Display for StateElement {
@@ -49,6 +56,8 @@ impl fmt::Display for StateElement {
             StateElement::FetchBus => write!(f, "fetch"),
             StateElement::InputPort => write!(f, "iport"),
             StateElement::OutputPort => write!(f, "oport"),
+            StateElement::PageReg => write!(f, "page"),
+            StateElement::PagePending => write!(f, "page*"),
         }
     }
 }
@@ -105,10 +114,18 @@ pub struct ArchState<'a> {
     pub acc: Option<&'a mut u8>,
     /// Data-memory words or registers.
     pub mem: &'a mut [u8],
+    /// The MMU page register (4 bits; hooks must keep it within `0xF`).
+    pub page: &'a mut u8,
+    /// The MMU pending-commit latch, while a page change is in flight.
+    pub pending_page: Option<&'a mut u8>,
     /// The datapath width mask (`0xF` for 4-bit cores, `0xFF` for
     /// FlexiCore8); hooks must not set bits outside it.
     pub data_mask: u8,
 }
+
+/// The MMU page register and pending latch are four bits on every
+/// dialect (§5.1: "a four-bit register").
+pub const PAGE_MASK: u8 = 0xF;
 
 /// Observation/corruption points threaded through every simulator step.
 ///
@@ -283,6 +300,8 @@ impl FaultHook for FaultPlane {
                     None => (None, 0),
                 },
                 StateElement::Mem(i) => (state.mem.get_mut(usize::from(i)), state.data_mask),
+                StateElement::PageReg => (Some(&mut *state.page), PAGE_MASK),
+                StateElement::PagePending => (state.pending_page.as_deref_mut(), PAGE_MASK),
                 _ => (None, 0),
             };
             let Some(slot) = slot else { continue };
@@ -304,11 +323,20 @@ impl FaultHook for FaultPlane {
 mod tests {
     use super::*;
 
-    fn state_of<'a>(pc: &'a mut u8, acc: &'a mut u8, mem: &'a mut [u8]) -> ArchState<'a> {
+    /// Tests that do not target the MMU registers park the page register
+    /// in a caller-provided scratch byte and leave no pending latch.
+    fn state_of<'a>(
+        pc: &'a mut u8,
+        acc: &'a mut u8,
+        mem: &'a mut [u8],
+        page: &'a mut u8,
+    ) -> ArchState<'a> {
         ArchState {
             pc,
             acc: Some(acc),
             mem,
+            page,
+            pending_page: None,
             data_mask: 0xF,
         }
     }
@@ -320,8 +348,8 @@ mod tests {
         assert_eq!(p.on_fetch(3, 0xAB), 0xAB);
         assert_eq!(p.on_input(3, 0x5), 0x5);
         assert_eq!(p.on_output(3, 0x5), 0x5);
-        let (mut pc, mut acc, mut mem) = (5u8, 9u8, [1u8, 2, 3]);
-        p.on_state(3, &mut state_of(&mut pc, &mut acc, &mut mem));
+        let (mut pc, mut acc, mut mem, mut page) = (5u8, 9u8, [1u8, 2, 3], 0u8);
+        p.on_state(3, &mut state_of(&mut pc, &mut acc, &mut mem, &mut page));
         assert_eq!((pc, acc, mem), (5, 9, [1, 2, 3]));
     }
 
@@ -332,11 +360,11 @@ mod tests {
             bit: 3,
             kind: FaultKind::StuckAt1,
         }]);
-        let (mut pc, mut acc, mut mem) = (0u8, 0u8, [0u8; 4]);
-        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem));
+        let (mut pc, mut acc, mut mem, mut page) = (0u8, 0u8, [0u8; 4], 0u8);
+        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem, &mut page));
         assert_eq!(acc, 0x8);
         acc = 0x2;
-        p.on_state(1, &mut state_of(&mut pc, &mut acc, &mut mem));
+        p.on_state(1, &mut state_of(&mut pc, &mut acc, &mut mem, &mut page));
         assert_eq!(acc, 0xA);
     }
 
@@ -361,9 +389,9 @@ mod tests {
             bit: 1,
             kind: FaultKind::StuckAt0,
         }]);
-        let (mut pc, mut acc) = (0u8, 0u8);
+        let (mut pc, mut acc, mut page) = (0u8, 0u8, 0u8);
         let mut mem = [0xFu8; 4];
-        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem));
+        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem, &mut page));
         assert_eq!(mem, [0xF, 0xF, 0xD, 0xF]);
     }
 
@@ -376,10 +404,13 @@ mod tests {
         }]);
         let mut pc = 0u8;
         let mut regs = [0u8; 8];
+        let mut page = 0u8;
         let mut state = ArchState {
             pc: &mut pc,
             acc: None,
             mem: &mut regs,
+            page: &mut page,
+            pending_page: None,
             data_mask: 0xF,
         };
         p.on_state(0, &mut state);
@@ -394,10 +425,52 @@ mod tests {
             bit: 0,
             kind: FaultKind::StuckAt1,
         }]);
-        let (mut pc, mut acc) = (0u8, 0u8);
+        let (mut pc, mut acc, mut page) = (0u8, 0u8, 0u8);
         let mut mem = [0u8; 4]; // fc8 has only four words
-        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem));
+        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem, &mut page));
         assert_eq!(mem, [0u8; 4]);
+    }
+
+    #[test]
+    fn stuck_page_register_reasserts_and_masks_to_four_bits() {
+        let mut p = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::PageReg,
+            bit: 3,
+            kind: FaultKind::StuckAt1,
+        }]);
+        let (mut pc, mut acc, mut mem, mut page) = (0u8, 0u8, [0u8; 4], 0u8);
+        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem, &mut page));
+        assert_eq!(page, 0x8, "bit 3 stuck high in the page register");
+        page = 0x2;
+        p.on_state(1, &mut state_of(&mut pc, &mut acc, &mut mem, &mut page));
+        assert_eq!(page, 0xA, "reasserted on every visit");
+        assert_eq!((pc, acc, mem), (0, 0, [0u8; 4]), "core state untouched");
+    }
+
+    #[test]
+    fn pending_latch_fault_is_inert_without_a_pending_commit() {
+        let mut p = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::PagePending,
+            bit: 0,
+            kind: FaultKind::StuckAt1,
+        }]);
+        let (mut pc, mut acc, mut mem, mut page) = (0u8, 0u8, [0u8; 4], 0u8);
+        // state_of models the idle MMU: no pending-commit latch exists.
+        p.on_state(0, &mut state_of(&mut pc, &mut acc, &mut mem, &mut page));
+        assert_eq!(page, 0);
+
+        let mut pending = 0x4u8;
+        let mut state = ArchState {
+            pc: &mut pc,
+            acc: Some(&mut acc),
+            mem: &mut mem,
+            page: &mut page,
+            pending_page: Some(&mut pending),
+            data_mask: 0xF,
+        };
+        p.on_state(1, &mut state);
+        assert_eq!(pending, 0x5, "latch corrupted while a commit is in flight");
+        assert_eq!(page, 0, "committed page register untouched");
     }
 
     #[test]

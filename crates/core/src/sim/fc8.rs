@@ -286,10 +286,13 @@ impl Core for Fc8Core {
     }
 
     fn arch_state(&mut self) -> ArchState<'_> {
+        let (page, pending_page) = self.exec.mmu.fault_view();
         ArchState {
             pc: &mut self.exec.pc,
             acc: Some(&mut self.acc),
             mem: &mut self.mem,
+            page,
+            pending_page,
             data_mask: 0xFF,
         }
     }

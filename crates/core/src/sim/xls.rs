@@ -404,10 +404,13 @@ impl Core for XlsCore {
     }
 
     fn arch_state(&mut self) -> ArchState<'_> {
+        let (page, pending_page) = self.exec.mmu.fault_view();
         ArchState {
             pc: &mut self.exec.pc,
             acc: None,
             mem: &mut self.regs,
+            page,
+            pending_page,
             data_mask: WIDTH_MASK,
         }
     }

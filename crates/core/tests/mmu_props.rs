@@ -100,6 +100,55 @@ proptest! {
         prop_assert_eq!(mmu.pending_page(), None);
     }
 
+    /// Adversarial case: the page *operand* itself equals `ESCAPE_1` or
+    /// `ESCAPE_2` (pages 0xE and 0xD are legal fetch targets). The
+    /// operand must be consumed — it selects the page, it does not
+    /// re-arm or extend the recognizer — and the transducer must return
+    /// to idle so a *following* full sequence still works mid-stream.
+    #[test]
+    fn escape_valued_page_operand_is_consumed_and_rearms(
+        tricky in prop_oneof![Just(ESCAPE_1), Just(ESCAPE_2)],
+        next in 0u8..16,
+        gap in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        // strip escape values from the gap so it cannot start a
+        // sequence of its own
+        let gap: Vec<u8> = gap
+            .into_iter()
+            .filter(|v| {
+                let m = v & 0xF;
+                m != ESCAPE_1 && m != ESCAPE_2
+            })
+            .collect();
+
+        let mut mmu = Mmu::new();
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        prop_assert!(mmu.observe(tricky), "operand completes the sequence");
+        prop_assert_eq!(mmu.pending_page(), Some(tricky));
+
+        // the escape-valued operand was consumed: the recognizer is
+        // idle again, so `ESCAPE_2`-after-operand must NOT commit
+        prop_assert!(!mmu.observe(ESCAPE_2));
+        prop_assert!(!mmu.observe(0x1));
+        for _ in 0..COMMIT_DELAY {
+            mmu.tick();
+        }
+        prop_assert_eq!(mmu.page(), tricky, "tricky page committed");
+
+        // and a later full sequence, fed mid-stream after arbitrary
+        // pair-free traffic, still re-arms and retargets the page
+        let commits = feed(&mut mmu, &gap);
+        prop_assert_eq!(commits, 0);
+        mmu.observe(ESCAPE_1);
+        mmu.observe(ESCAPE_2);
+        prop_assert!(mmu.observe(next), "recognizer re-armed mid-stream");
+        for _ in 0..COMMIT_DELAY {
+            mmu.tick();
+        }
+        prop_assert_eq!(mmu.page(), next);
+    }
+
     /// A second full sequence arriving before the first commits
     /// replaces the pending page — the delay line holds one entry, and
     /// the *latest* recognized page wins.

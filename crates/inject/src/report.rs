@@ -90,6 +90,8 @@ pub fn element_class(element: StateElement) -> &'static str {
         StateElement::FetchBus => "fetch",
         StateElement::InputPort => "iport",
         StateElement::OutputPort => "oport",
+        StateElement::PageReg => "page",
+        StateElement::PagePending => "page*",
     }
 }
 

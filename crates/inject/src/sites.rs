@@ -17,6 +17,10 @@ pub const PC_BITS: u8 = 7;
 /// Every fetched byte crosses an 8-bit bus regardless of datapath width.
 pub const FETCH_BITS: u8 = 8;
 
+/// The off-chip MMU page register and its pending-commit latch are four
+/// bits on every dialect (§5.1: sixteen 128-instruction pages).
+pub const PAGE_BITS: u8 = 4;
+
 /// One injectable location: a single bit of a single state element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultSite {
@@ -58,8 +62,13 @@ pub fn has_accumulator(dialect: Dialect) -> bool {
 }
 
 /// Every injectable (element, bit) site of a dialect, in a fixed order:
-/// PC, accumulator, memory words, fetch bus, input port, output port —
-/// low bit first within each element.
+/// PC, accumulator, memory words, fetch bus, input port, output port,
+/// MMU page register, MMU pending-commit latch — low bit first within
+/// each element. The MMU sites live on the off-chip programming board
+/// but are fabricated on the same flexible substrate, so campaigns
+/// target them alongside core state. New elements are appended so the
+/// prefix order (and with it old seeds' draws over old site lists)
+/// never changes.
 #[must_use]
 pub fn enumerate(dialect: Dialect) -> Vec<FaultSite> {
     let width = data_bits(dialect);
@@ -79,6 +88,8 @@ pub fn enumerate(dialect: Dialect) -> Vec<FaultSite> {
     push(StateElement::FetchBus, FETCH_BITS);
     push(StateElement::InputPort, width);
     push(StateElement::OutputPort, width);
+    push(StateElement::PageReg, PAGE_BITS);
+    push(StateElement::PagePending, PAGE_BITS);
     sites
 }
 
@@ -110,16 +121,37 @@ mod tests {
     #[test]
     fn site_counts_per_dialect() {
         // fc4: pc 7 + acc 4 + 8 words * 4 + fetch 8 + in 4 + out 4
-        assert_eq!(enumerate(Dialect::Fc4).len(), 7 + 4 + 32 + 8 + 4 + 4);
+        //      + page 4 + pending 4
+        assert_eq!(enumerate(Dialect::Fc4).len(), 7 + 4 + 32 + 8 + 4 + 4 + 8);
         // fc8: pc 7 + acc 8 + 4 words * 8 + fetch 8 + in 8 + out 8
-        assert_eq!(enumerate(Dialect::Fc8).len(), 7 + 8 + 32 + 8 + 8 + 8);
+        //      + page 4 + pending 4
+        assert_eq!(enumerate(Dialect::Fc8).len(), 7 + 8 + 32 + 8 + 8 + 8 + 8);
         // xacc matches fc4's shape
         assert_eq!(
             enumerate(Dialect::ExtendedAcc).len(),
             enumerate(Dialect::Fc4).len()
         );
         // xls: no accumulator, 8 registers
-        assert_eq!(enumerate(Dialect::LoadStore).len(), 7 + 32 + 8 + 4 + 4);
+        assert_eq!(enumerate(Dialect::LoadStore).len(), 7 + 32 + 8 + 4 + 4 + 8);
+    }
+
+    #[test]
+    fn mmu_sites_are_enumerated_last() {
+        // appended after core state so older seeds' draw order over the
+        // core-only prefix is unchanged
+        for dialect in [
+            Dialect::Fc4,
+            Dialect::Fc8,
+            Dialect::ExtendedAcc,
+            Dialect::LoadStore,
+        ] {
+            let sites = enumerate(dialect);
+            let tail = &sites[sites.len() - 8..];
+            assert!(tail[..4].iter().all(|s| s.element == StateElement::PageReg));
+            assert!(tail[4..]
+                .iter()
+                .all(|s| s.element == StateElement::PagePending));
+        }
     }
 
     #[test]
@@ -137,6 +169,7 @@ mod tests {
                 let width = match s.element {
                     StateElement::Pc => PC_BITS,
                     StateElement::FetchBus => FETCH_BITS,
+                    StateElement::PageReg | StateElement::PagePending => PAGE_BITS,
                     _ => data_bits(dialect),
                 };
                 assert!(s.bit < width, "{dialect:?} {:?}", s);

@@ -202,7 +202,16 @@ impl PreparedKernel {
             .collect()
     }
 
-    fn verify(
+    /// Oracle-verify a raw output stream produced elsewhere (e.g. by a
+    /// resilient or link-layer executor that drove the core itself) and
+    /// package it as a [`KernelRun`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::DidNotHalt`] if `result` never reached the halt
+    /// idiom, [`RunError::OracleMismatch`] if the stream differs from
+    /// the oracle's prediction for `inputs`.
+    pub fn verify(
         &self,
         inputs: &[u8],
         raw_outputs: Vec<u8>,

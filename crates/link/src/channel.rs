@@ -1,0 +1,213 @@
+//! A seeded model of the noisy reprogramming channel.
+//!
+//! Field reprogramming reaches the flexible substrate over a cheap
+//! serial link, so the model covers the failure modes such links
+//! actually exhibit: independent per-bit flips (thermal/contact noise),
+//! error bursts (connector scrape), dropped frames (framing loss) and
+//! truncated frames (early carrier loss). Every corruption is drawn
+//! from one seeded generator, so a transfer — including every retry —
+//! replays bit-for-bit from the same seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error rates of a [`NoisyChannel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Probability that any transmitted bit flips independently.
+    pub bit_error_rate: f64,
+    /// Probability that a frame suffers one contiguous error burst.
+    pub burst_rate: f64,
+    /// Bits flipped by a burst.
+    pub burst_len: usize,
+    /// Probability that a frame is dropped outright.
+    pub drop_rate: f64,
+    /// Probability that a frame is truncated at a random point.
+    pub truncate_rate: f64,
+}
+
+impl ChannelConfig {
+    /// A perfectly clean channel.
+    #[must_use]
+    pub fn clean() -> Self {
+        ChannelConfig {
+            bit_error_rate: 0.0,
+            burst_rate: 0.0,
+            burst_len: 0,
+            drop_rate: 0.0,
+            truncate_rate: 0.0,
+        }
+    }
+
+    /// A channel dominated by independent bit flips at `ber`, with the
+    /// rarer frame-level failure modes scaled from it (a burst or drop
+    /// is roughly a hundred times rarer than a bit flip, matching the
+    /// soak campaign's sweep axis).
+    #[must_use]
+    pub fn with_bit_error_rate(ber: f64) -> Self {
+        ChannelConfig {
+            bit_error_rate: ber,
+            burst_rate: ber * 10.0,
+            burst_len: 8,
+            drop_rate: ber * 10.0,
+            truncate_rate: ber * 10.0,
+        }
+    }
+}
+
+/// What the channel did to one transmitted frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// The frame arrived (possibly corrupted) with these bytes.
+    Delivered(Vec<u8>),
+    /// The frame never arrived.
+    Dropped,
+}
+
+/// Deterministic corruption counters, accumulated across a transfer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Frames offered to the channel.
+    pub frames: u64,
+    /// Frames dropped outright.
+    pub dropped: u64,
+    /// Frames truncated short.
+    pub truncated: u64,
+    /// Independent bit flips applied.
+    pub flipped_bits: u64,
+    /// Error bursts applied.
+    pub bursts: u64,
+}
+
+/// The noisy channel: seeded corruption over transmitted frames.
+#[derive(Debug, Clone)]
+pub struct NoisyChannel {
+    config: ChannelConfig,
+    rng: StdRng,
+    stats: ChannelStats,
+}
+
+impl NoisyChannel {
+    /// A channel with `config`'s rates and a deterministic stream from
+    /// `seed`.
+    #[must_use]
+    pub fn new(config: ChannelConfig, seed: u64) -> Self {
+        NoisyChannel {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The corruption counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Transmit one frame, applying drops, truncation, independent bit
+    /// flips and bursts in that fixed order (the order is part of the
+    /// replay contract).
+    pub fn transmit(&mut self, bytes: &[u8]) -> Delivery {
+        self.stats.frames += 1;
+        if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
+            self.stats.dropped += 1;
+            return Delivery::Dropped;
+        }
+        let mut bytes = bytes.to_vec();
+        if self.config.truncate_rate > 0.0
+            && bytes.len() > 1
+            && self.rng.gen_bool(self.config.truncate_rate)
+        {
+            let keep = self.rng.gen_range(1..bytes.len());
+            bytes.truncate(keep);
+            self.stats.truncated += 1;
+        }
+        if self.config.bit_error_rate > 0.0 {
+            for byte in &mut bytes {
+                for bit in 0..8 {
+                    if self.rng.gen_bool(self.config.bit_error_rate) {
+                        *byte ^= 1 << bit;
+                        self.stats.flipped_bits += 1;
+                    }
+                }
+            }
+        }
+        if self.config.burst_rate > 0.0
+            && self.config.burst_len > 0
+            && self.rng.gen_bool(self.config.burst_rate)
+        {
+            let total_bits = bytes.len() * 8;
+            let start = self.rng.gen_range(0..total_bits);
+            for offset in 0..self.config.burst_len.min(total_bits - start) {
+                let pos = start + offset;
+                bytes[pos / 8] ^= 1 << (pos % 8);
+            }
+            self.stats.bursts += 1;
+        }
+        Delivery::Delivered(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_is_the_identity() {
+        let mut ch = NoisyChannel::new(ChannelConfig::clean(), 1);
+        let bytes = vec![0xA5, 1, 2, 3];
+        assert_eq!(ch.transmit(&bytes), Delivery::Delivered(bytes));
+        assert_eq!(ch.stats().flipped_bits, 0);
+    }
+
+    #[test]
+    fn same_seed_corrupts_identically() {
+        let cfg = ChannelConfig::with_bit_error_rate(0.02);
+        let mut a = NoisyChannel::new(cfg, 99);
+        let mut b = NoisyChannel::new(cfg, 99);
+        let frame = vec![0x55u8; 64];
+        for _ in 0..32 {
+            assert_eq!(a.transmit(&frame), b.transmit(&frame));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn high_noise_eventually_exercises_every_failure_mode() {
+        let cfg = ChannelConfig {
+            bit_error_rate: 0.01,
+            burst_rate: 0.2,
+            burst_len: 8,
+            drop_rate: 0.2,
+            truncate_rate: 0.2,
+        };
+        let mut ch = NoisyChannel::new(cfg, 7);
+        let frame = vec![0u8; 32];
+        for _ in 0..200 {
+            ch.transmit(&frame);
+        }
+        let stats = ch.stats();
+        assert!(stats.dropped > 0);
+        assert!(stats.truncated > 0);
+        assert!(stats.flipped_bits > 0);
+        assert!(stats.bursts > 0);
+    }
+
+    #[test]
+    fn burst_flips_contiguous_bits() {
+        let cfg = ChannelConfig {
+            bit_error_rate: 0.0,
+            burst_rate: 1.0,
+            burst_len: 4,
+            drop_rate: 0.0,
+            truncate_rate: 0.0,
+        };
+        let mut ch = NoisyChannel::new(cfg, 3);
+        let Delivery::Delivered(out) = ch.transmit(&[0u8; 16]) else {
+            panic!("nothing drops at rate 0");
+        };
+        let flipped: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert!((1..=4).contains(&flipped), "burst flipped {flipped} bits");
+    }
+}

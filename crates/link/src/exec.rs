@@ -1,0 +1,546 @@
+//! Execution out of the protected store: checkpointed segments with
+//! scrubbing and page repair woven in.
+//!
+//! The [`LinkedExecutor`] programs an [`EccStore`] through the noisy
+//! channel, then runs the image in checkpointed segments the way
+//! `flexresilient`'s simplex executor does — with the link layer in the
+//! loop:
+//!
+//! * at every segment boundary the store is re-materialized through the
+//!   ECC read path, so a single-bit store upset is corrected before the
+//!   core can fetch it;
+//! * on a periodic cadence the store is **scrubbed**: corrected words
+//!   are rewritten in place, and a page with an uncorrectable word is
+//!   **reprogrammed** over the channel from the golden image;
+//! * an uncorrectable page, a lane crash (e.g. the corrupt-page MMU
+//!   guard firing) or a hang rolls execution back to the last committed
+//!   checkpoint, so the retried segment re-fetches from the repaired
+//!   image instead of committing work derived from corrupt code.
+//!
+//! Everything — channel noise, upset schedule, retry trace — is driven
+//! by explicit seeds and schedules, so a [`LinkRun`] replays
+//! bit-for-bit.
+
+use crate::channel::{ChannelConfig, NoisyChannel};
+use crate::protocol::{self, FrameClass, LinkConfig, TransferReport};
+use crate::store::EccStore;
+use flexasm::Target;
+use flexicore::exec::{AnyCore, Snapshot};
+use flexicore::io::{RecordingOutput, ScriptedInput};
+use flexicore::program::Program;
+use flexicore::sim::FaultPlane;
+use flexresilient::vote::StateDigest;
+
+/// Segmenting and scrubbing policy of a [`LinkedExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkExecConfig {
+    /// Retired instructions per checkpointed segment.
+    pub interval: u64,
+    /// Re-execution attempts per segment before giving up.
+    pub max_retries: u32,
+    /// Watchdog budget (cycles on FC4/FC8, instructions on the
+    /// extended dialects); exceeding it inside a segment is a hang.
+    pub budget: u64,
+    /// Segments between background scrub sweeps (0 disables scrubbing).
+    pub scrub_interval: usize,
+}
+
+impl Default for LinkExecConfig {
+    fn default() -> Self {
+        LinkExecConfig {
+            interval: 64,
+            max_retries: 8,
+            budget: 200_000,
+            scrub_interval: 4,
+        }
+    }
+}
+
+/// One scheduled store upset: flip `bit` of `word` just before
+/// `segment` runs. Campaigns draw these from a seeded generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreUpset {
+    /// The segment boundary at which the upset lands.
+    pub segment: usize,
+    /// The stored word (program byte index) hit.
+    pub word: usize,
+    /// The code bit flipped.
+    pub bit: u8,
+}
+
+/// Why a segment re-executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkRetryCause {
+    /// The lane raised a simulator error (including the corrupt-page
+    /// MMU guard).
+    Crash,
+    /// The lane burned the watchdog budget.
+    Hang,
+}
+
+/// One entry of the deterministic link-execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// A background scrub sweep ran.
+    Scrub {
+        /// Segment boundary at which the sweep ran.
+        segment: usize,
+        /// Words corrected and rewritten.
+        corrected: usize,
+        /// Words found beyond correction.
+        uncorrectable: usize,
+    },
+    /// A page with uncorrectable words was reprogrammed over the
+    /// channel.
+    PageRepair {
+        /// Segment boundary at which the repair happened.
+        segment: usize,
+        /// The repaired store page.
+        page: usize,
+        /// How the repair transfer went.
+        class: FrameClass,
+    },
+    /// A segment rolled back to the checkpoint and re-executed.
+    Retry {
+        /// The failing segment (commit index).
+        segment: usize,
+        /// Attempt number within the segment (1-based).
+        attempt: u32,
+        /// What went wrong.
+        cause: LinkRetryCause,
+    },
+}
+
+/// Accumulated scrub telemetry over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubTotals {
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Words corrected across all sweeps.
+    pub corrected: usize,
+    /// Uncorrectable words found across all sweeps.
+    pub uncorrectable: usize,
+}
+
+/// The result of one linked run: programming, execution and repair
+/// telemetry plus the committed outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkRun {
+    /// Telemetry of the initial image transfer.
+    pub transfer: TransferReport,
+    /// Whether the initial transfer verified every page.
+    pub programmed: bool,
+    /// The committed output stream.
+    pub outputs: Vec<u8>,
+    /// Whether the program reached the halt idiom.
+    pub halted: bool,
+    /// Whether a segment exhausted its retry budget.
+    pub gave_up: bool,
+    /// Segment re-executions (crash or hang rollbacks).
+    pub rollbacks: u32,
+    /// Pages reprogrammed over the channel after the initial transfer.
+    pub reprogrammed_pages: u32,
+    /// Single-bit corrections applied by the materializing read path.
+    pub read_corrections: usize,
+    /// Background-scrub telemetry.
+    pub scrub: ScrubTotals,
+    /// The ordered event trace.
+    pub trace: Vec<LinkEvent>,
+    /// The committed end state.
+    pub end: StateDigest,
+}
+
+/// The committed state every retry re-synchronizes to.
+struct Checkpoint {
+    snap: Snapshot,
+    input: ScriptedInput,
+    committed: Vec<u8>,
+}
+
+/// How one segment attempt finished.
+enum SegmentEnd {
+    Reached,
+    Halted,
+    Crashed,
+    Hung,
+}
+
+/// Runs a golden image through the reprogramming link and executes it
+/// out of the protected store.
+#[derive(Debug, Clone)]
+pub struct LinkedExecutor {
+    target: Target,
+    golden: Program,
+    link: LinkConfig,
+    exec: LinkExecConfig,
+}
+
+impl LinkedExecutor {
+    /// An executor for `golden` on `target`'s dialect.
+    #[must_use]
+    pub fn new(target: Target, golden: Program, link: LinkConfig, exec: LinkExecConfig) -> Self {
+        LinkedExecutor {
+            target,
+            golden,
+            link,
+            exec,
+        }
+    }
+
+    /// The golden image.
+    #[must_use]
+    pub fn golden(&self) -> &Program {
+        &self.golden
+    }
+
+    /// Program the store through a channel seeded with `channel_seed`,
+    /// then run to the halt idiom with `inputs` scripted on the input
+    /// port, `upsets` landing on their scheduled segment boundaries and
+    /// `plane` injected into the lane.
+    #[must_use]
+    pub fn run(
+        &self,
+        inputs: &[u8],
+        channel_cfg: ChannelConfig,
+        channel_seed: u64,
+        upsets: &[StoreUpset],
+        mut plane: FaultPlane,
+    ) -> LinkRun {
+        let mut store = EccStore::erased(self.golden.len());
+        let mut channel = NoisyChannel::new(channel_cfg, channel_seed);
+        let transfer =
+            protocol::program_store(self.golden.as_bytes(), &mut store, &mut channel, self.link);
+        let programmed = transfer.complete();
+
+        let mut run = LinkRun {
+            transfer,
+            programmed,
+            outputs: Vec::new(),
+            halted: false,
+            gave_up: false,
+            rollbacks: 0,
+            reprogrammed_pages: 0,
+            read_corrections: 0,
+            scrub: ScrubTotals::default(),
+            trace: Vec::new(),
+            end: StateDigest::of(&self.fresh_core(self.golden.clone()).snapshot()),
+        };
+        if !programmed {
+            // the image never verified: refuse to run corrupt code
+            return run;
+        }
+
+        let mut core = self.fresh_core(self.materialize(&mut run, &mut store, &mut channel, 0));
+        let mut checkpoint = Checkpoint {
+            snap: core.snapshot(),
+            input: ScriptedInput::new(inputs.to_vec()),
+            committed: Vec::new(),
+        };
+        core.power_on_faults(&mut plane);
+        let mut input = checkpoint.input.clone();
+        let mut output = RecordingOutput::new();
+
+        let mut segment = 0usize;
+        'run: while !checkpoint.snap.halted {
+            // the link layer's segment-boundary work: land scheduled
+            // upsets, scrub on cadence, repair and re-fetch
+            for upset in upsets.iter().filter(|u| u.segment == segment) {
+                if upset.word < store.len() {
+                    store.flip_bit(upset.word, upset.bit);
+                }
+            }
+            if self.exec.scrub_interval != 0
+                && segment != 0
+                && segment.is_multiple_of(self.exec.scrub_interval)
+            {
+                let report = store.scrub();
+                run.scrub.sweeps += 1;
+                run.scrub.corrected += report.corrected;
+                run.scrub.uncorrectable += report.uncorrectable;
+                run.trace.push(LinkEvent::Scrub {
+                    segment,
+                    corrected: report.corrected,
+                    uncorrectable: report.uncorrectable,
+                });
+            }
+            let image = self.materialize(&mut run, &mut store, &mut channel, segment);
+            if image.as_bytes() != core.program().as_bytes() {
+                // the store was repaired: roll back onto the repaired
+                // image so the segment re-fetches re-programmed code
+                core = self.fresh_core(image);
+                core.restore(&checkpoint.snap);
+            }
+
+            let mut attempt = 0u32;
+            loop {
+                let target = checkpoint.snap.instructions + self.exec.interval;
+                match run_segment(
+                    &mut core,
+                    &mut input,
+                    &mut output,
+                    &mut plane,
+                    target,
+                    self.exec.budget,
+                ) {
+                    SegmentEnd::Reached | SegmentEnd::Halted => break,
+                    end @ (SegmentEnd::Crashed | SegmentEnd::Hung) => {
+                        let cause = match end {
+                            SegmentEnd::Crashed => LinkRetryCause::Crash,
+                            _ => LinkRetryCause::Hang,
+                        };
+                        attempt += 1;
+                        run.rollbacks += 1;
+                        run.trace.push(LinkEvent::Retry {
+                            segment,
+                            attempt,
+                            cause,
+                        });
+                        if attempt > self.exec.max_retries {
+                            run.gave_up = true;
+                            break 'run;
+                        }
+                        // a crash may mean the store decayed under us:
+                        // scrub, repair, and retry from the checkpoint
+                        // on the repaired image
+                        let report = store.scrub();
+                        run.scrub.sweeps += 1;
+                        run.scrub.corrected += report.corrected;
+                        run.scrub.uncorrectable += report.uncorrectable;
+                        run.trace.push(LinkEvent::Scrub {
+                            segment,
+                            corrected: report.corrected,
+                            uncorrectable: report.uncorrectable,
+                        });
+                        let image = self.materialize(&mut run, &mut store, &mut channel, segment);
+                        core = self.fresh_core(image);
+                        core.restore(&checkpoint.snap);
+                        input = checkpoint.input.clone();
+                        output = RecordingOutput::new();
+                    }
+                }
+            }
+
+            checkpoint.committed.extend(output.values());
+            checkpoint.snap = core.snapshot();
+            checkpoint.input = input.clone();
+            output = RecordingOutput::new();
+            segment += 1;
+        }
+
+        run.outputs = checkpoint.committed;
+        run.halted = checkpoint.snap.halted;
+        run.end = StateDigest::of(&checkpoint.snap);
+        run
+    }
+
+    fn fresh_core(&self, program: Program) -> AnyCore {
+        AnyCore::for_dialect(self.target.dialect, self.target.features, program)
+    }
+
+    /// Decode the store into an executable image, reprogramming any
+    /// page that has decayed beyond correction.
+    fn materialize(
+        &self,
+        run: &mut LinkRun,
+        store: &mut EccStore,
+        channel: &mut NoisyChannel,
+        segment: usize,
+    ) -> Program {
+        let mut m = store.materialize();
+        run.read_corrections += m.corrected;
+        if !m.bad_pages.is_empty() {
+            let mut seq = 0u8;
+            let mut backoff = 0u64;
+            for page in m.bad_pages {
+                let log = protocol::program_page(
+                    self.golden.as_bytes(),
+                    page,
+                    store,
+                    channel,
+                    self.link,
+                    &mut seq,
+                    &mut backoff,
+                );
+                run.reprogrammed_pages += 1;
+                run.trace.push(LinkEvent::PageRepair {
+                    segment,
+                    page,
+                    class: log.class,
+                });
+            }
+            m = store.materialize();
+        }
+        m.program
+    }
+}
+
+/// Step one lane until it retires `target` total instructions, halts,
+/// crashes or burns the watchdog budget.
+fn run_segment(
+    core: &mut AnyCore,
+    input: &mut ScriptedInput,
+    output: &mut RecordingOutput,
+    plane: &mut FaultPlane,
+    target: u64,
+    budget: u64,
+) -> SegmentEnd {
+    loop {
+        if core.is_halted() {
+            return SegmentEnd::Halted;
+        }
+        if core.instructions() >= target {
+            return SegmentEnd::Reached;
+        }
+        if core.budget_spent() >= budget {
+            return SegmentEnd::Hung;
+        }
+        if core.step_with(input, output, plane).is_err() {
+            return SegmentEnd::Crashed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexicore::sim::{ArchFault, FaultKind, StateElement};
+    use flexkernels::harness::PreparedKernel;
+    use flexkernels::{oracle, Kernel};
+
+    fn parity_executor() -> (LinkedExecutor, Vec<u8>, Vec<u8>) {
+        let prepared = PreparedKernel::new(Kernel::ParityCheck, Target::fc4()).unwrap();
+        let inputs = vec![0x3, 0x5];
+        let expected =
+            oracle::expected_outputs(Kernel::ParityCheck, Target::fc4().dialect, &inputs);
+        let executor = LinkedExecutor::new(
+            Target::fc4(),
+            prepared.program().clone(),
+            LinkConfig::default(),
+            LinkExecConfig {
+                interval: 16,
+                max_retries: 6,
+                budget: 20_000,
+                scrub_interval: 2,
+            },
+        );
+        (executor, inputs, expected)
+    }
+
+    #[test]
+    fn clean_link_runs_oracle_exact() {
+        let (executor, inputs, expected) = parity_executor();
+        let run = executor.run(&inputs, ChannelConfig::clean(), 1, &[], FaultPlane::new());
+        assert!(run.programmed && run.halted && !run.gave_up);
+        assert_eq!(run.outputs, expected);
+        assert_eq!(run.rollbacks, 0);
+        assert_eq!(run.reprogrammed_pages, 0);
+    }
+
+    #[test]
+    fn single_bit_upset_is_absorbed_by_the_read_path() {
+        let (executor, inputs, expected) = parity_executor();
+        let upsets = [StoreUpset {
+            segment: 1,
+            word: 3,
+            bit: 6,
+        }];
+        let run = executor.run(
+            &inputs,
+            ChannelConfig::clean(),
+            1,
+            &upsets,
+            FaultPlane::new(),
+        );
+        assert!(run.halted && !run.gave_up);
+        assert_eq!(run.outputs, expected);
+        assert_eq!(run.reprogrammed_pages, 0, "a single flip needs no repair");
+        assert!(
+            run.read_corrections > 0 || run.scrub.corrected > 0,
+            "the upset must be seen and corrected: {run:?}"
+        );
+    }
+
+    #[test]
+    fn double_bit_upset_forces_page_repair_and_recovers() {
+        let (executor, inputs, expected) = parity_executor();
+        let upsets = [
+            StoreUpset {
+                segment: 1,
+                word: 3,
+                bit: 1,
+            },
+            StoreUpset {
+                segment: 1,
+                word: 3,
+                bit: 9,
+            },
+        ];
+        let run = executor.run(
+            &inputs,
+            ChannelConfig::clean(),
+            1,
+            &upsets,
+            FaultPlane::new(),
+        );
+        assert!(run.halted && !run.gave_up, "{:?}", run.trace);
+        assert_eq!(run.outputs, expected, "repaired, not corrupted");
+        assert!(run.reprogrammed_pages > 0, "{:?}", run.trace);
+    }
+
+    #[test]
+    fn mmu_page_flip_crashes_rolls_back_and_recovers() {
+        let (executor, inputs, expected) = parity_executor();
+        let plane = FaultPlane::with_faults(vec![ArchFault {
+            element: StateElement::PageReg,
+            bit: 2,
+            kind: FaultKind::FlipAtCycle(40),
+        }]);
+        let run = executor.run(&inputs, ChannelConfig::clean(), 1, &[], plane);
+        assert!(run.halted && !run.gave_up, "{:?}", run.trace);
+        assert_eq!(run.outputs, expected);
+        assert!(run.rollbacks > 0, "the page fault must force a rollback");
+    }
+
+    #[test]
+    fn noisy_transfer_still_yields_an_exact_run() {
+        let (executor, inputs, expected) = parity_executor();
+        let cfg = ChannelConfig::with_bit_error_rate(1e-3);
+        let run = executor.run(&inputs, cfg, 23, &[], FaultPlane::new());
+        assert!(run.programmed, "{:?}", run.transfer);
+        assert!(run.halted && !run.gave_up);
+        assert_eq!(run.outputs, expected);
+    }
+
+    #[test]
+    fn linked_runs_replay_bit_for_bit() {
+        let (executor, inputs, _) = parity_executor();
+        let cfg = ChannelConfig::with_bit_error_rate(2e-3);
+        let upsets = [
+            StoreUpset {
+                segment: 1,
+                word: 2,
+                bit: 0,
+            },
+            StoreUpset {
+                segment: 2,
+                word: 2,
+                bit: 11,
+            },
+        ];
+        let a = executor.run(&inputs, cfg, 77, &upsets, FaultPlane::new());
+        let b = executor.run(&inputs, cfg, 77, &upsets, FaultPlane::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dead_channel_refuses_to_run() {
+        let (executor, inputs, _) = parity_executor();
+        let cfg = ChannelConfig {
+            drop_rate: 1.0,
+            ..ChannelConfig::clean()
+        };
+        let run = executor.run(&inputs, cfg, 9, &[], FaultPlane::new());
+        assert!(!run.programmed && !run.halted);
+        assert!(run.outputs.is_empty(), "no corrupt code may execute");
+    }
+}

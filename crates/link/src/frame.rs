@@ -1,0 +1,226 @@
+//! Per-page transfer frames with sequence numbers and a CRC-16 check.
+//!
+//! A program image crosses the reprogramming link as one frame per
+//! 128-byte store page:
+//!
+//! ```text
+//! [MAGIC, seq, page, len, payload[0..len], crc_hi, crc_lo]
+//! ```
+//!
+//! The CRC (CCITT polynomial `0x1021`, init `0xFFFF`) covers the
+//! header fields and payload, so bit flips, truncation and reordering
+//! corruption are all detected at the receiver and answered with a
+//! retransmission rather than a corrupt store write.
+
+/// Start-of-frame marker.
+pub const MAGIC: u8 = 0xA5;
+
+/// Frame overhead in bytes: magic, seq, page, len, two CRC bytes.
+pub const OVERHEAD: usize = 6;
+
+/// Largest payload a one-byte length field can carry.
+pub const MAX_PAYLOAD: usize = 255;
+
+/// One reprogramming frame: a page of program bytes in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Monotonic sequence number (wraps at 256), catching duplicated
+    /// or replayed deliveries.
+    pub seq: u8,
+    /// The store page this payload programs.
+    pub page: u8,
+    /// The page's data bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why a received byte string is not a valid frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the fixed overhead.
+    TooShort {
+        /// Received length in bytes.
+        len: usize,
+    },
+    /// The first byte is not [`MAGIC`].
+    BadMagic {
+        /// The byte received instead.
+        found: u8,
+    },
+    /// The length field disagrees with the received byte count.
+    LengthMismatch {
+        /// Payload length the header claims.
+        declared: usize,
+        /// Payload bytes actually present.
+        received: usize,
+    },
+    /// The CRC check failed.
+    BadCrc {
+        /// CRC computed over the received header and payload.
+        computed: u16,
+        /// CRC carried by the frame trailer.
+        received: u16,
+    },
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::TooShort { len } => {
+                write!(f, "frame of {len} bytes is shorter than the overhead")
+            }
+            FrameError::BadMagic { found } => {
+                write!(f, "frame starts with {found:#04x}, not the magic")
+            }
+            FrameError::LengthMismatch { declared, received } => {
+                write!(
+                    f,
+                    "length field says {declared} payload bytes, got {received}"
+                )
+            }
+            FrameError::BadCrc { computed, received } => {
+                write!(
+                    f,
+                    "crc mismatch: computed {computed:#06x}, received {received:#06x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC-16-CCITT (polynomial `0x1021`, initial value `0xFFFF`).
+#[must_use]
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc = 0xFFFFu16;
+    for &b in bytes {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+impl Frame {
+    /// Serialize for transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] bytes — pages are
+    /// 128 bytes, so a larger payload is a caller bug, not a link
+    /// condition.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            self.payload.len() <= MAX_PAYLOAD,
+            "payload of {} bytes exceeds the length field",
+            self.payload.len()
+        );
+        let mut bytes = Vec::with_capacity(OVERHEAD + self.payload.len());
+        bytes.push(MAGIC);
+        bytes.push(self.seq);
+        bytes.push(self.page);
+        bytes.push(self.payload.len() as u8);
+        bytes.extend_from_slice(&self.payload);
+        let crc = crc16(&bytes[1..]);
+        bytes.push((crc >> 8) as u8);
+        bytes.push(crc as u8);
+        bytes
+    }
+
+    /// Parse and integrity-check a received byte string.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]; the caller answers with a retransmission.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < OVERHEAD {
+            return Err(FrameError::TooShort { len: bytes.len() });
+        }
+        if bytes[0] != MAGIC {
+            return Err(FrameError::BadMagic { found: bytes[0] });
+        }
+        let declared = usize::from(bytes[3]);
+        let received = bytes.len() - OVERHEAD;
+        if declared != received {
+            return Err(FrameError::LengthMismatch { declared, received });
+        }
+        let body_end = bytes.len() - 2;
+        let computed = crc16(&bytes[1..body_end]);
+        let carried = u16::from(bytes[body_end]) << 8 | u16::from(bytes[body_end + 1]);
+        if computed != carried {
+            return Err(FrameError::BadCrc {
+                computed,
+                received: carried,
+            });
+        }
+        Ok(Frame {
+            seq: bytes[1],
+            page: bytes[2],
+            payload: bytes[4..body_end].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame {
+            seq: 7,
+            page: 3,
+            payload: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let f = frame();
+        assert_eq!(Frame::decode(&f.encode()), Ok(f));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let f = Frame {
+            seq: 0,
+            page: 0,
+            payload: vec![],
+        };
+        assert_eq!(Frame::decode(&f.encode()), Ok(f));
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let bytes = frame().encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    Frame::decode(&corrupt).is_err(),
+                    "flip of byte {byte} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = frame().encode();
+        for len in 0..bytes.len() {
+            assert!(Frame::decode(&bytes[..len]).is_err(), "cut at {len}");
+        }
+    }
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // CRC-16/CCITT-FALSE of "123456789"
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Plain-text rendering of soak campaigns for the `flexi link` CLI.
+
+use crate::soak::{SoakCampaign, SoakOutcome};
+
+/// Render a campaign as an aligned text table: one row per trial, then
+/// the outcome tally and link-layer totals.
+#[must_use]
+pub fn render(campaign: &SoakCampaign) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "link soak: {:?} · {} kernels × {} error rates · seed {}\n\n",
+        campaign.config.target.dialect,
+        campaign.config.kernels.len(),
+        campaign.config.error_rates.len(),
+        campaign.config.seed,
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>6} {:>8} {:>7} {:>7} {:>9} {:>7} {:>7}  {}\n",
+        "kernel",
+        "ber",
+        "frames",
+        "retried",
+        "failed",
+        "scrubs",
+        "corrected",
+        "repairs",
+        "rollbk",
+        "outcome"
+    ));
+    for t in &campaign.trials {
+        out.push_str(&format!(
+            "{:<14} {:>9.1e} {:>6} {:>8} {:>7} {:>7} {:>9} {:>7} {:>7}  {}\n",
+            t.kernel.name(),
+            t.bit_error_rate,
+            t.run.transfer.frames.len(),
+            t.run.transfer.retried(),
+            t.run.transfer.failed(),
+            t.run.scrub.sweeps,
+            t.run.scrub.corrected + t.run.read_corrections,
+            t.run.reprogrammed_pages,
+            t.run.rollbacks,
+            t.outcome,
+        ));
+    }
+    out.push('\n');
+    for outcome in [
+        SoakOutcome::Masked,
+        SoakOutcome::Recovered,
+        SoakOutcome::Unrecoverable,
+    ] {
+        out.push_str(&format!(
+            "{:<14} {:>5}\n",
+            outcome.to_string(),
+            campaign.count(outcome)
+        ));
+    }
+    out.push_str(&format!(
+        "survival       {:>5.3}\n",
+        campaign.survival_rate()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soak::{run_soak, SoakConfig};
+    use flexasm::Target;
+    use flexkernels::Kernel;
+
+    #[test]
+    fn render_lists_every_trial_and_the_tally() {
+        let campaign = run_soak(SoakConfig {
+            kernels: vec![Kernel::ParityCheck],
+            upsets_per_trial: 0,
+            ..SoakConfig::new(Target::fc4(), vec![0.0, 1e-4], 5)
+        })
+        .unwrap();
+        let text = render(&campaign);
+        assert_eq!(text.matches("Parity Check").count(), 2);
+        assert!(text.contains("masked"));
+        assert!(text.contains("survival"));
+    }
+}

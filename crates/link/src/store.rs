@@ -1,0 +1,241 @@
+//! The SECDED-protected external program store.
+//!
+//! The store keeps one 13-bit code word per program byte, organised in
+//! 128-byte pages (the §5.1 MMU page granularity on the byte-addressed
+//! dialects, and the transfer-frame unit on all of them). Reads decode
+//! through the ECC, so a single-bit upset never reaches the core;
+//! [`EccStore::scrub`] sweeps the whole store, rewriting corrected
+//! words in place and reporting the pages whose words have decayed
+//! beyond correction so the link layer can reprogram them.
+
+use crate::ecc::{self, Decoded};
+use flexicore::program::Program;
+
+/// Bytes per store page: one §5.1 page of a byte-addressed dialect and
+/// one transfer frame's payload.
+pub const PAGE_BYTES: usize = 128;
+
+/// Result of decoding the whole store into an executable image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Materialized {
+    /// The decoded image (best-effort bytes on uncorrectable words).
+    pub program: Program,
+    /// Words whose single-bit upsets the read path corrected. The
+    /// store itself still holds the corrupt words until a scrub.
+    pub corrected: usize,
+    /// Pages containing at least one uncorrectable word; the image
+    /// bytes there are untrustworthy and the pages need reprogramming.
+    pub bad_pages: Vec<usize>,
+}
+
+/// One background-scrub sweep's findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Words corrected and rewritten in place.
+    pub corrected: usize,
+    /// Words beyond correction (left untouched).
+    pub uncorrectable: usize,
+    /// Pages containing at least one uncorrectable word.
+    pub bad_pages: Vec<usize>,
+}
+
+/// The external program store: SECDED words, page-organised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EccStore {
+    words: Vec<u16>,
+}
+
+impl EccStore {
+    /// An erased store sized for `bytes` program bytes (every word
+    /// holds an encoded zero, so an unprogrammed store decodes clean).
+    #[must_use]
+    pub fn erased(bytes: usize) -> Self {
+        EccStore {
+            words: vec![ecc::encode(0); bytes],
+        }
+    }
+
+    /// Capacity in program bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the store holds no words at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of (possibly partial) pages.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.words.len().div_ceil(PAGE_BYTES)
+    }
+
+    /// The word range backing `page`, clamped to the store size.
+    fn page_range(&self, page: usize) -> core::ops::Range<usize> {
+        let start = (page * PAGE_BYTES).min(self.words.len());
+        let end = ((page + 1) * PAGE_BYTES).min(self.words.len());
+        start..end
+    }
+
+    /// Encode and write one page of data bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range or `data` does not match the
+    /// page's size — the protocol layer frames pages exactly, so a
+    /// mismatch is a bug, not a link condition.
+    pub fn write_page(&mut self, page: usize, data: &[u8]) {
+        let range = self.page_range(page);
+        assert!(
+            !range.is_empty() && range.len() == data.len(),
+            "page {page} write of {} bytes into a {}-word window",
+            data.len(),
+            range.len(),
+        );
+        for (word, &byte) in self.words[range].iter_mut().zip(data) {
+            *word = ecc::encode(byte);
+        }
+    }
+
+    /// Decode one page's data bytes (best effort on uncorrectable
+    /// words), for read-back verification.
+    #[must_use]
+    pub fn read_page(&self, page: usize) -> Vec<u8> {
+        self.words[self.page_range(page)]
+            .iter()
+            .map(|&w| ecc::decode(w).data())
+            .collect()
+    }
+
+    /// Flip one stored bit — the upset-injection hook for campaigns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range or `bit` is not a code bit.
+    pub fn flip_bit(&mut self, word: usize, bit: u8) {
+        assert!(
+            u32::from(bit) < ecc::CODE_BITS,
+            "bit {bit} outside the code word"
+        );
+        self.words[word] ^= 1 << bit;
+    }
+
+    /// Decode the whole store into an executable [`Program`].
+    #[must_use]
+    pub fn materialize(&self) -> Materialized {
+        let mut bytes = Vec::with_capacity(self.words.len());
+        let mut corrected = 0;
+        let mut bad_pages = Vec::new();
+        for (i, &word) in self.words.iter().enumerate() {
+            let decoded = ecc::decode(word);
+            match decoded {
+                Decoded::Clean(_) => {}
+                Decoded::Corrected(_) => corrected += 1,
+                Decoded::Uncorrectable(_) => {
+                    let page = i / PAGE_BYTES;
+                    if bad_pages.last() != Some(&page) {
+                        bad_pages.push(page);
+                    }
+                }
+            }
+            bytes.push(decoded.data());
+        }
+        Materialized {
+            program: Program::from_bytes(bytes),
+            corrected,
+            bad_pages,
+        }
+    }
+
+    /// Sweep every word, rewriting corrected words in place and
+    /// reporting what was found. Uncorrectable words are left exactly
+    /// as they are: only a reprogramming of their page can repair them.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for (i, word) in self.words.iter_mut().enumerate() {
+            match ecc::decode(*word) {
+                Decoded::Clean(_) => {}
+                Decoded::Corrected(data) => {
+                    *word = ecc::encode(data);
+                    report.corrected += 1;
+                }
+                Decoded::Uncorrectable(_) => {
+                    report.uncorrectable += 1;
+                    let page = i / PAGE_BYTES;
+                    if report.bad_pages.last() != Some(&page) {
+                        report.bad_pages.push(page);
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn programmed(bytes: &[u8]) -> EccStore {
+        let mut store = EccStore::erased(bytes.len());
+        for (page, chunk) in bytes.chunks(PAGE_BYTES).enumerate() {
+            store.write_page(page, chunk);
+        }
+        store
+    }
+
+    #[test]
+    fn write_then_materialize_round_trips() {
+        let image: Vec<u8> = (0..200u16).map(|i| (i * 7) as u8).collect();
+        let store = programmed(&image);
+        let m = store.materialize();
+        assert_eq!(m.program.as_bytes(), &image[..]);
+        assert_eq!(m.corrected, 0);
+        assert!(m.bad_pages.is_empty());
+    }
+
+    #[test]
+    fn single_upset_is_corrected_on_read_and_healed_by_scrub() {
+        let image = vec![0x3Cu8; 130];
+        let mut store = programmed(&image);
+        store.flip_bit(129, 5);
+        let m = store.materialize();
+        assert_eq!(m.program.as_bytes(), &image[..], "read path corrects");
+        assert_eq!(m.corrected, 1);
+        assert!(m.bad_pages.is_empty());
+
+        let report = store.scrub();
+        assert_eq!(report.corrected, 1);
+        assert_eq!(report.uncorrectable, 0);
+        assert_eq!(store.scrub(), ScrubReport::default(), "healed in place");
+    }
+
+    #[test]
+    fn double_upset_marks_the_page_bad() {
+        let image = vec![0xAAu8; 300];
+        let mut store = programmed(&image);
+        store.flip_bit(150, 0);
+        store.flip_bit(150, 7);
+        let m = store.materialize();
+        assert_eq!(m.bad_pages, vec![1]);
+        let report = store.scrub();
+        assert_eq!(report.uncorrectable, 1);
+        assert_eq!(report.bad_pages, vec![1]);
+
+        // reprogramming the page is the only repair
+        store.write_page(1, &image[PAGE_BYTES..2 * PAGE_BYTES]);
+        assert!(store.scrub().bad_pages.is_empty());
+        assert_eq!(store.materialize().program.as_bytes(), &image[..]);
+    }
+
+    #[test]
+    fn erased_store_decodes_clean_zeros() {
+        let store = EccStore::erased(64);
+        let m = store.materialize();
+        assert_eq!(m.program.as_bytes(), &[0u8; 64][..]);
+        assert_eq!(m.corrected, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the link codecs: the SECDED(13,8) word code and
+//! the CRC-framed page transfer format.
+//!
+//! The unit tests already check these exhaustively for fixed payloads;
+//! the properties here drive the codecs with arbitrary data and error
+//! patterns so a regression in either layer cannot hide behind a lucky
+//! constant.
+
+use flexlink::ecc::{self, Decoded};
+use flexlink::frame::{Frame, FrameError, MAX_PAYLOAD};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// SECDED corrects every single-bit flip of every code word back to
+    /// the original data.
+    #[test]
+    fn any_single_flip_of_any_word_is_corrected(data in any::<u8>(), bit in 0u32..ecc::CODE_BITS) {
+        let word = ecc::encode(data) ^ (1 << bit);
+        prop_assert_eq!(ecc::decode(word), Decoded::Corrected(data));
+    }
+
+    /// SECDED flags every double-bit flip of every code word as
+    /// uncorrectable — it never miscorrects to plausible-looking data.
+    #[test]
+    fn any_double_flip_of_any_word_is_flagged(
+        data in any::<u8>(),
+        a in 0u32..ecc::CODE_BITS,
+        b in 0u32..ecc::CODE_BITS,
+    ) {
+        prop_assume!(a != b);
+        let word = ecc::encode(data) ^ (1 << a) ^ (1 << b);
+        prop_assert!(matches!(ecc::decode(word), Decoded::Uncorrectable(_)));
+    }
+
+    /// Frame encode/decode is a bijection over every (seq, page,
+    /// payload) triple the protocol can produce.
+    #[test]
+    fn frame_encode_decode_is_a_bijection(
+        seq in any::<u8>(),
+        page in any::<u8>(),
+        payload in vec(any::<u8>(), 0..=MAX_PAYLOAD),
+    ) {
+        let frame = Frame { seq, page, payload };
+        let decoded = Frame::decode(&frame.encode());
+        prop_assert_eq!(decoded, Ok(frame));
+    }
+
+    /// Any single-bit corruption of an encoded frame is rejected.
+    #[test]
+    fn any_single_bit_frame_corruption_is_rejected(
+        seq in any::<u8>(),
+        page in any::<u8>(),
+        payload in vec(any::<u8>(), 0..64usize),
+        flip in any::<u32>(),
+    ) {
+        let mut bytes = Frame { seq, page, payload }.encode();
+        let bit = flip as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(Frame::decode(&bytes).is_err());
+    }
+
+    /// Any truncation of an encoded frame is rejected rather than
+    /// decoded as a shorter page.
+    #[test]
+    fn any_truncation_is_rejected(
+        seq in any::<u8>(),
+        page in any::<u8>(),
+        payload in vec(any::<u8>(), 0..64usize),
+        keep in any::<u32>(),
+    ) {
+        let bytes = Frame { seq, page, payload }.encode();
+        let short = &bytes[..keep as usize % bytes.len()];
+        prop_assert!(matches!(
+            Frame::decode(short),
+            Err(FrameError::TooShort { .. }
+                | FrameError::LengthMismatch { .. }
+                | FrameError::BadCrc { .. })
+        ));
+    }
+}

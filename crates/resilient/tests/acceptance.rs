@@ -123,6 +123,68 @@ fn retry_traces_replay_bit_for_bit() {
 }
 
 #[test]
+fn corrupt_page_mmu_faults_are_recovered_not_sdc() {
+    // A corrupted §5.1 page register surfaces as a PageOutOfRange lane
+    // crash (never silent data corruption), which the resilient layer
+    // absorbs: TMR outvotes a permanently stuck page register, and
+    // checkpoint/rollback re-executes through a transient page flip.
+    use flexicore::sim::{ArchFault, FaultKind, FaultPlane, StateElement};
+    let prepared = PreparedKernel::new(Kernel::ParityCheck, Target::fc4()).unwrap();
+    let inputs = [0x3, 0x5];
+    let expected = oracle::expected_outputs(Kernel::ParityCheck, Target::fc4().dialect, &inputs);
+
+    // TMR: lane 0's page register is stuck at page 8 — that lane
+    // crashes on its first fetch and the healthy majority wins
+    let tmr = NmrExecutor::new(
+        prepared.core(),
+        NmrConfig {
+            budget: 20_000,
+            ..NmrConfig::default()
+        },
+    );
+    let stuck = ArchFault {
+        element: StateElement::PageReg,
+        bit: 3,
+        kind: FaultKind::StuckAt1,
+    };
+    let voted = tmr.run(
+        &inputs,
+        vec![
+            FaultPlane::with_faults(vec![stuck]),
+            FaultPlane::new(),
+            FaultPlane::new(),
+        ],
+    );
+    assert_eq!(voted.verdict, VoteVerdict::Majority);
+    assert_eq!(voted.outputs, expected, "no SDC from the corrupt page");
+
+    // DMR re-exec: a one-shot flip of the page register mid-run crashes
+    // the lane, rollback replays the segment, and the retry (the flip
+    // has already fired) completes oracle-exact
+    let dmr = RecoveryExecutor::new(
+        prepared.core(),
+        RecoveryConfig {
+            interval: 16,
+            max_retries: 6,
+            budget: 20_000,
+        },
+    );
+    let flip = ArchFault {
+        element: StateElement::PageReg,
+        bit: 0,
+        kind: FaultKind::FlipAtCycle(40),
+    };
+    let run = dmr.run_dmr(
+        &inputs,
+        [FaultPlane::with_faults(vec![flip]), FaultPlane::new()],
+        vec![],
+    );
+    assert!(run.halted && !run.gave_up);
+    assert!(run.retries > 0, "the page flip must force a rollback");
+    assert_eq!(run.outputs, expected, "recovered, not corrupted");
+}
+
+#[test]
 fn every_kernel_runs_through_the_resilient_executor() {
     let target = Target::fc4();
     for kernel in Kernel::ALL {
