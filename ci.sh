@@ -20,6 +20,16 @@ echo "== link soak smoke =="
 # noisy channel, upset in service, and still oracle-exact
 cargo test --release --offline -p flexlink -q --test soak_acceptance
 
+echo "== flexcheck gate =="
+# static analysis over the kernel suite (all dialects must lint clean at
+# error severity) plus a seeded differential soundness smoke campaign:
+# every analyzer verdict is replayed against the functional simulator
+for target in fc4 fc8 xacc xls; do
+    ./target/release/flexi check --kernels --target "$target" \
+        --features revised > /dev/null
+done
+./target/release/flexi check --campaign 25 --seed 1 | tail -2
+
 echo "== cargo test =="
 cargo test --offline --workspace -q
 
@@ -32,7 +42,7 @@ echo "== cargo doc =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p flexicore -p flexasm -p flexgate -p flexrtl -p flexfab \
     -p flexkernels -p flexinject -p flexresilient -p flexlink -p flexdse \
-    -p flexcli -p flexbench
+    -p flexcheck -p flexcli -p flexbench
 
 echo "== cargo clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -50,6 +50,13 @@ use flexicore::isa::features::Feature;
 use flexicore::isa::xacc::Cond;
 use flexicore::isa::{fc4, fc8, xacc, xls, Dialect};
 
+/// A branch destination as written in source: symbolic, or an absolute
+/// page-local PC (what disassembly listings contain).
+enum BranchTarget {
+    Label(String),
+    Abs(u8),
+}
+
 /// Scratch register used by single-temporary expansions.
 pub const SCRATCH_A: u8 = 7;
 /// Second scratch register used by two-temporary expansions.
@@ -148,6 +155,13 @@ impl Ctx {
         });
     }
 
+    fn emit_branch_to(&mut self, insn: MachineInsn, target: BranchTarget) {
+        match target {
+            BranchTarget::Label(label) => self.emit_branch(insn, &label),
+            BranchTarget::Abs(pc) => self.emit(insn.with_target(pc)),
+        }
+    }
+
     fn mark_last_cross_page(&mut self) {
         if let Some(Item::Insn { cross_page, .. }) = self.items.last_mut() {
             *cross_page = true;
@@ -208,6 +222,32 @@ impl Ctx {
         }
     }
 
+    /// A branch destination: a label, or an absolute page-local PC.
+    /// Numeric targets are what the disassembler emits, so accepting
+    /// them makes assemble → disassemble → assemble a round trip.
+    fn one_target(&self, mnemonic: &str, operands: &[Operand]) -> Result<BranchTarget, AsmError> {
+        // load-store branch encodings carry a full 8-bit target field
+        // (the engine masks to the 7-bit PC); the accumulator dialects
+        // encode 7 bits
+        let max = if self.target.dialect == Dialect::LoadStore {
+            255
+        } else {
+            127
+        };
+        match operands {
+            [Operand::Label(l)] => Ok(BranchTarget::Label(l.clone())),
+            [Operand::Imm(v)] if (0..=max).contains(v) => Ok(BranchTarget::Abs(*v as u8)),
+            [Operand::Imm(v)] => Err(self.err(AsmErrorKind::OutOfRange {
+                what: format!("`{mnemonic}` absolute target"),
+                value: *v,
+                range: (0, max),
+            })),
+            _ => Err(self.syntax(format!(
+                "`{mnemonic}` takes a label or an absolute page-local target"
+            ))),
+        }
+    }
+
     fn imm4(&self, mnemonic: &str, v: i64) -> Result<u8, AsmError> {
         let range = if self.target.dialect == Dialect::Fc4 {
             // raw nibble; negatives wrap mod 16
@@ -236,6 +276,7 @@ impl Ctx {
             Some("np") => Cond::from_bits(0b101),
             Some("zp") => Cond::from_bits(0b011),
             Some("always") | Some("nzp") => Cond::ALWAYS,
+            Some("never") => Cond::NEVER,
             Some(other) => return Err(self.syntax(format!("unknown branch condition `.{other}`"))),
         };
         Ok(c)
@@ -688,13 +729,13 @@ impl Ctx {
             }
             "br" => {
                 let c = self.cond_mask(cond)?;
-                let label = self.one_label(mnemonic, operands)?.to_string();
+                let target = self.one_target(mnemonic, operands)?;
                 if c == Cond::N {
-                    self.emit_branch(self.acc_branch_n(), &label);
+                    self.emit_branch_to(self.acc_branch_n(), target);
                 } else if self.feature(Feature::BranchFlags) {
-                    self.emit_branch(
+                    self.emit_branch_to(
                         MachineInsn::Xacc(xacc::Instruction::Br { cond: c, target: 0 }),
-                        &label,
+                        target,
                     );
                 } else {
                     return Err(self.unsupported(
@@ -856,16 +897,16 @@ impl Ctx {
                 self.emit(MachineInsn::Xacc(insn));
             }
             "call" => {
-                let label = self.one_label(mnemonic, operands)?.to_string();
+                let target = self.one_target(mnemonic, operands)?;
                 if !self.feature(Feature::Subroutines) {
                     return Err(self.unsupported(
                         "call",
                         "needs the Subroutines extension (return-address register)",
                     ));
                 }
-                self.emit_branch(
+                self.emit_branch_to(
                     MachineInsn::Xacc(xacc::Instruction::Call { target: 0 }),
-                    &label,
+                    target,
                 );
             }
             "ret" => {
@@ -1099,20 +1140,20 @@ impl Ctx {
                         "condition masks other than `.n` need the BranchFlags extension",
                     ));
                 }
-                let label = self.one_label(mnemonic, operands)?.to_string();
-                self.emit_branch(
+                let target = self.one_target(mnemonic, operands)?;
+                self.emit_branch_to(
                     MachineInsn::Xls(xls::Instruction::Br { cond: c, target: 0 }),
-                    &label,
+                    target,
                 );
             }
             "call" => {
                 if !self.ls_feature(Feature::Subroutines) {
                     return Err(self.unsupported("call", "needs the Subroutines extension"));
                 }
-                let label = self.one_label(mnemonic, operands)?.to_string();
-                self.emit_branch(
+                let target = self.one_target(mnemonic, operands)?;
+                self.emit_branch_to(
                     MachineInsn::Xls(xls::Instruction::Call { target: 0 }),
-                    &label,
+                    target,
                 );
             }
             "ret" => {

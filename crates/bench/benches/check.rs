@@ -1,0 +1,52 @@
+//! How fast does flexcheck lint a program image?
+//!
+//! The analyzer runs at assembly time (`flexi asm` warnings) and inside
+//! the field-reprogramming admission gate (`flexlink`), so its cost is
+//! on the interactive path. This benchmark measures full-analysis
+//! throughput in instructions per second on the largest kernel image of
+//! each dialect: CFG construction, abstract interpretation to fixpoint,
+//! and lint extraction, exactly as `flexcheck::check_assembly` runs it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flexasm::{Assembler, Assembly, Target};
+use flexkernels::Kernel;
+
+/// The kernel with the most instructions for `target`, pre-assembled.
+fn largest_kernel(target: Target) -> (Kernel, Assembly) {
+    Kernel::ALL
+        .iter()
+        .filter(|k| k.supports(target.dialect))
+        .map(|&k| {
+            let assembly = Assembler::new(target)
+                .assemble(&k.source_for(target.dialect))
+                .unwrap();
+            (k, assembly)
+        })
+        .max_by_key(|(_, a)| a.static_instructions())
+        .unwrap()
+}
+
+fn bench_check_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_throughput");
+    for target in [
+        Target::fc4(),
+        Target::fc8(),
+        Target::xacc_revised(),
+        Target::xls_revised(),
+    ] {
+        let (kernel, assembly) = largest_kernel(target);
+        let insns = assembly.static_instructions() as u64;
+        group.throughput(Throughput::Elements(insns));
+        let label = format!("{}_{kernel}_{insns}insns", target.dialect);
+        group.bench_function(&label, |b| {
+            b.iter(|| {
+                let report = flexcheck::check_assembly(&assembly);
+                (report.reachable_instructions, report.findings.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_throughput);
+criterion_main!(benches);

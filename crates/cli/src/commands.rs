@@ -32,6 +32,8 @@ flexi — FlexiCores toolbox (ISCA 2022 reproduction)
 
 commands:
   asm     <file.s> [--target T] [--features F,..] [--out prog.bin] [--listing]
+  check   <file.s> [--target T] [--features F,..] [--deny info|warning|error]
+          | --kernels [--target T] | --campaign N [--seed S]
   disasm  <prog.bin> [--target T]
   run     <file.s> [--target T] [--features F,..] [--input 1,2,..]
                    [--max-cycles N] [--trace]
@@ -80,9 +82,100 @@ pub fn asm(args: &mut Args) -> Result<String, CliError> {
     if args.has("listing") {
         out.push_str(&assembly.listing_text());
     }
+    // surface analyzer warnings at assembly time (errors don't block
+    // `asm` — `flexi check` is the gate)
+    let report = flexcheck::check_assembly(&assembly);
+    for finding in report.at_least(flexcheck::Severity::Warning) {
+        let _ = writeln!(out, "{finding}");
+    }
     if let Some(dest) = args.flag("out") {
         std::fs::write(&dest, assembly.program().as_bytes())?;
         let _ = writeln!(out, "wrote {} bytes to {dest}", assembly.program().len());
+    }
+    Ok(out)
+}
+
+/// `flexi check` — static analysis over a source file, the kernel
+/// suite, or a differential soundness campaign.
+///
+/// # Errors
+///
+/// Usage, IO or assembly errors; [`CliError::Run`] (non-zero exit) when
+/// findings at or above the `--deny` severity exist, or when a campaign
+/// observes an unsound verdict.
+pub fn check(args: &mut Args) -> Result<String, CliError> {
+    let deny = match args.flag("deny") {
+        None => flexcheck::Severity::Error,
+        Some(name) => flexcheck::Severity::parse(&name).ok_or_else(|| {
+            CliError::Usage(format!("unknown severity `{name}` (info, warning, error)"))
+        })?,
+    };
+
+    if let Some(n) = args.flag("campaign") {
+        let programs: usize = n
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad campaign size `{n}`")))?;
+        let seed = args.num("seed", 0xF1EC5u64)?;
+        let config = flexcheck::soundness::CampaignConfig {
+            seed,
+            programs_per_dialect: programs,
+            budget: 4_096,
+        };
+        let stats = flexcheck::soundness::run_campaign(&config);
+        let mut out = format!("soundness campaign (seed {seed:#x}): {}\n", stats.summary());
+        if stats.violations.is_empty() {
+            out.push_str("no unsound verdicts\n");
+            return Ok(out);
+        }
+        for v in &stats.violations {
+            let _ = writeln!(out, "UNSOUND: {v}");
+        }
+        return Err(CliError::Run(format!(
+            "{} unsound verdict(s)",
+            stats.violations.len()
+        )));
+    }
+
+    let target = args.target()?;
+    if args.has("kernels") {
+        let mut out = String::new();
+        let mut worst: Option<String> = None;
+        for kernel in flexkernels::Kernel::ALL {
+            if !kernel.supports(target.dialect) {
+                continue;
+            }
+            let assembly = Assembler::new(target).assemble(&kernel.source_for(target.dialect))?;
+            let report = flexcheck::check_assembly(&assembly);
+            let _ = writeln!(
+                out,
+                "{kernel}: {} reachable instruction(s), {} finding(s)",
+                report.reachable_instructions,
+                report.findings.len()
+            );
+            for finding in &report.findings {
+                let _ = writeln!(out, "  {finding}");
+            }
+            if report.has_at_least(deny) && worst.is_none() {
+                worst = Some(kernel.to_string());
+            }
+        }
+        if let Some(kernel) = worst {
+            return Err(CliError::Run(format!(
+                "kernel `{kernel}` has findings at or above `{deny}` severity"
+            )));
+        }
+        return Ok(out);
+    }
+
+    let path = args.positional(0, "source file").map(str::to_string)?;
+    let source = std::fs::read_to_string(&path)?;
+    let assembly = Assembler::new(target).assemble(&source)?;
+    let report = flexcheck::check_assembly(&assembly);
+    let out = format!("{path}: {}", report.render());
+    if report.has_at_least(deny) {
+        return Err(CliError::Run(format!(
+            "`{path}` has findings at or above `{deny}` severity\n{out}"
+        )));
     }
     Ok(out)
 }
@@ -620,6 +713,56 @@ mod tests {
         for name in ["Calculator", "XorShift8", "Thresholding"] {
             assert!(out.contains(name), "{out}");
         }
+    }
+
+    #[test]
+    fn check_passes_a_clean_file() {
+        let src = write_temp("check_ok", ADD3);
+        let out = call(&["check", &src]).unwrap();
+        assert!(out.contains("reachable"), "{out}");
+    }
+
+    #[test]
+    fn check_rejects_a_statically_hung_file() {
+        // a two-instruction loop with no exit (a self-branch would be
+        // the halt idiom, so the loop body must advance the pc)
+        let src = write_temp("check_hang", "load r0\nloop:\n  addi 1\n  br loop\n");
+        let err = call(&["check", &src]).unwrap_err();
+        assert!(err.to_string().contains("error"), "{err}");
+    }
+
+    #[test]
+    fn check_deny_severity_is_configurable() {
+        // dead code after halt is an info-level lint: clean at the
+        // default `error` gate, rejected when denying info findings
+        let dead = "load r0\nstore r1\nhalt\naddi 1\n";
+        let src = write_temp("check_warn", dead);
+        call(&["check", &src]).unwrap();
+        let err = call(&["check", &src, "--deny", "info"]).unwrap_err();
+        assert!(err.to_string().contains("info"), "{err}");
+    }
+
+    #[test]
+    fn check_kernels_lint_clean() {
+        for target in ["fc4", "fc8"] {
+            let out = call(&["check", "--kernels", "--target", target]).unwrap();
+            assert!(out.contains("reachable instruction(s)"), "{out}");
+        }
+    }
+
+    #[test]
+    fn check_campaign_smoke_is_sound() {
+        let out = call(&["check", "--campaign", "3", "--seed", "9"]).unwrap();
+        assert!(out.contains("no unsound verdicts"), "{out}");
+        assert!(out.contains("seed 0x9"), "{out}");
+    }
+
+    #[test]
+    fn asm_prints_analyzer_warnings() {
+        // cell 3 is never written, so reading it is a warning
+        let src = write_temp("asm_warn", "load r3\nstore r1\nhalt\n");
+        let out = call(&["asm", &src]).unwrap();
+        assert!(out.contains("uninit-read"), "{out}");
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! flexi asm     <file.s> [--target T] [--features F,..] [--out prog.bin] [--listing]
+//! flexi check   <file.s> [--target T] [--features F,..] [--deny info|warning|error]
+//!               | --kernels [--target T] | --campaign N [--seed S]
 //! flexi disasm  <prog.bin> [--target T]
 //! flexi run     <file.s> [--target T] [--features F,..] [--input 1,2,..]
 //!                        [--max-cycles N] [--trace]
@@ -53,6 +55,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let mut args = Args::parse(rest)?;
     let out = match command.as_str() {
         "asm" => commands::asm(&mut args)?,
+        "check" => commands::check(&mut args)?,
         "disasm" => commands::disasm(&mut args)?,
         "run" => commands::run(&mut args)?,
         "cosim" => commands::cosim(&mut args)?,

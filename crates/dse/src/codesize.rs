@@ -1,4 +1,5 @@
-//! Benchmark-suite code size per configuration (Figures 9, 10, 12).
+//! Benchmark-suite code size per configuration (Figures 9, 10, 12),
+//! raw and dead-code-stripped (via the `flexcheck` reachability pass).
 
 use crate::config::CoreConfig;
 use flexasm::AsmError;
@@ -13,6 +14,13 @@ pub struct KernelCodeSize {
     pub static_instructions: usize,
     /// Bits of program storage (the Figure 12 metric).
     pub bits: usize,
+    /// Instructions the static analyzer proves reachable from power-on.
+    pub reachable_instructions: usize,
+    /// Bits after stripping unreachable instructions. Equal to `bits`
+    /// when the image has no dead code, or when the analysis is not
+    /// exact (no strip is claimed then — shared software-expansion
+    /// routines reached via `ret` and page changes stay conservative).
+    pub stripped_bits: usize,
 }
 
 /// Assemble every kernel for `config` and collect code sizes.
@@ -27,13 +35,34 @@ pub fn suite_code_sizes(config: &CoreConfig) -> Result<Vec<KernelCodeSize>, AsmE
         .iter()
         .map(|&kernel| {
             let asm = kernel.assemble(target)?;
+            let report = flexcheck::check_assembly(&asm);
+            let bits = asm.code_bits();
+            let stripped_bits = if report.exact {
+                (report.reachable_bytes() * 8).min(bits)
+            } else {
+                bits
+            };
             Ok(KernelCodeSize {
                 kernel,
                 static_instructions: asm.static_instructions(),
-                bits: asm.code_bits(),
+                bits,
+                reachable_instructions: report.reachable_instructions,
+                stripped_bits,
             })
         })
         .collect()
+}
+
+/// Total dead-code-stripped bits of the whole suite under `config`.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn suite_stripped_bits(config: &CoreConfig) -> Result<usize, AsmError> {
+    Ok(suite_code_sizes(config)?
+        .iter()
+        .map(|k| k.stripped_bits)
+        .sum())
 }
 
 /// Total bits of the whole benchmark suite under `config`.

@@ -1,0 +1,92 @@
+//! Cross-checks between the static analyzer and the DSE measurement
+//! stack: dead-code-stripped sizes never exceed raw sizes, and the
+//! analyzer's worst-case cycle bound dominates what the functional
+//! simulator actually spends.
+
+use flexasm::{Assembler, Target};
+use flexdse::codesize::{suite_code_sizes, suite_stripped_bits, suite_total_bits};
+use flexdse::config::CoreConfig;
+use flexicore::exec::AnyCore;
+use flexicore::io::{ConstInput, RecordingOutput};
+
+#[test]
+fn stripped_sizes_are_bounded_by_raw_sizes() {
+    for config in CoreConfig::dse_cores() {
+        let sizes = suite_code_sizes(&config).unwrap_or_else(|e| panic!("{}: {e}", config.label()));
+        for k in &sizes {
+            assert!(
+                k.stripped_bits <= k.bits,
+                "{}/{}: stripped {} > raw {}",
+                config.label(),
+                k.kernel,
+                k.stripped_bits,
+                k.bits
+            );
+            assert!(
+                k.reachable_instructions > 0,
+                "{}/{}",
+                config.label(),
+                k.kernel
+            );
+        }
+        let raw = suite_total_bits(&config).unwrap();
+        let stripped = suite_stripped_bits(&config).unwrap();
+        assert!(stripped <= raw);
+    }
+}
+
+#[test]
+fn cycle_bound_dominates_concrete_straight_line_cost() {
+    // a straight-line fc4 program: the analyzer's worst-case cycle
+    // bound must equal what the simulator spends (single-cycle insns)
+    let src = "
+        load  r0
+        addi  3
+        store r2
+        xori  5
+        store r1
+        halt
+    ";
+    let target = Target::fc4();
+    let assembly = Assembler::new(target).assemble(src).unwrap();
+    let report = flexcheck::check_assembly(&assembly);
+    let bound = report.cycle_bound.expect("straight-line code has a bound");
+
+    let mut core = AnyCore::for_dialect(target.dialect, target.features, assembly.into_program());
+    let mut output = RecordingOutput::new();
+    let run = core
+        .run(&mut ConstInput::new(2), &mut output, 10 * bound)
+        .unwrap();
+    assert!(run.halted());
+    assert!(
+        core.cycles() <= bound,
+        "spent {} cycles, bound was {bound}",
+        core.cycles()
+    );
+}
+
+#[test]
+fn fc8_cycle_bound_accounts_for_two_byte_fetches() {
+    // fc8 charges `len` cycles per instruction; the bound must agree
+    let src = "
+        ldb   0x12
+        store r2
+        halt
+    ";
+    let target = Target::fc8();
+    let assembly = Assembler::new(target).assemble(src).unwrap();
+    let report = flexcheck::check_assembly(&assembly);
+    let bound = report.cycle_bound.expect("straight-line code has a bound");
+
+    let mut core = AnyCore::for_dialect(target.dialect, target.features, assembly.into_program());
+    let mut output = RecordingOutput::new();
+    let run = core
+        .run(&mut ConstInput::new(0), &mut output, 10 * bound)
+        .unwrap();
+    assert!(run.halted());
+    assert_eq!(
+        core.cycles(),
+        bound,
+        "fc8 bound is tight on straight-line code"
+    );
+}

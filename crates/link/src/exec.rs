@@ -126,6 +126,11 @@ pub struct ScrubTotals {
 /// telemetry plus the committed outputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkRun {
+    /// Whether the image passed static admission (always `true` when no
+    /// admission policy is configured).
+    pub admitted: bool,
+    /// The analyzer findings that refused admission (empty otherwise).
+    pub admission_findings: Vec<flexcheck::Finding>,
     /// Telemetry of the initial image transfer.
     pub transfer: TransferReport,
     /// Whether the initial transfer verified every page.
@@ -173,6 +178,7 @@ pub struct LinkedExecutor {
     golden: Program,
     link: LinkConfig,
     exec: LinkExecConfig,
+    admission: Option<flexcheck::Severity>,
 }
 
 impl LinkedExecutor {
@@ -184,7 +190,18 @@ impl LinkedExecutor {
             golden,
             link,
             exec,
+            admission: None,
         }
+    }
+
+    /// Gate store programming on the static analyzer: an image with any
+    /// finding at or above `deny` severity is refused before a single
+    /// frame goes over the channel (the field-reprogramming flow's
+    /// pre-burn check).
+    #[must_use]
+    pub fn with_admission(mut self, deny: flexcheck::Severity) -> Self {
+        self.admission = Some(deny);
+        self
     }
 
     /// The golden image.
@@ -206,6 +223,34 @@ impl LinkedExecutor {
         upsets: &[StoreUpset],
         mut plane: FaultPlane,
     ) -> LinkRun {
+        if let Some(deny) = self.admission {
+            let report = flexcheck::analyze(&self.target, &self.golden);
+            let findings: Vec<flexcheck::Finding> =
+                report.at_least(deny).into_iter().cloned().collect();
+            if !findings.is_empty() {
+                // refuse before programming: no frame reaches the store
+                return LinkRun {
+                    admitted: false,
+                    admission_findings: findings,
+                    transfer: TransferReport {
+                        frames: Vec::new(),
+                        backoff_cycles: 0,
+                        channel: Default::default(),
+                    },
+                    programmed: false,
+                    outputs: Vec::new(),
+                    halted: false,
+                    gave_up: false,
+                    rollbacks: 0,
+                    reprogrammed_pages: 0,
+                    read_corrections: 0,
+                    scrub: ScrubTotals::default(),
+                    trace: Vec::new(),
+                    end: StateDigest::of(&self.fresh_core(self.golden.clone()).snapshot()),
+                };
+            }
+        }
+
         let mut store = EccStore::erased(self.golden.len());
         let mut channel = NoisyChannel::new(channel_cfg, channel_seed);
         let transfer =
@@ -213,6 +258,8 @@ impl LinkedExecutor {
         let programmed = transfer.complete();
 
         let mut run = LinkRun {
+            admitted: true,
+            admission_findings: Vec::new(),
             transfer,
             programmed,
             outputs: Vec::new(),
@@ -542,5 +589,50 @@ mod tests {
         let run = executor.run(&inputs, cfg, 9, &[], FaultPlane::new());
         assert!(!run.programmed && !run.halted);
         assert!(run.outputs.is_empty(), "no corrupt code may execute");
+    }
+
+    #[test]
+    fn admission_refuses_statically_hung_image() {
+        // load r0; store r2; nandi 0; br 3 — the last byte is the halt
+        // idiom's self-branch
+        let golden = vec![0x30, 0x72, 0x50, 0x83];
+        let admit = |bytes: Vec<u8>| {
+            LinkedExecutor::new(
+                Target::fc4(),
+                Program::from_bytes(bytes),
+                LinkConfig::default(),
+                LinkExecConfig::default(),
+            )
+            .with_admission(flexcheck::Severity::Error)
+        };
+
+        let run =
+            admit(golden.clone()).run(&[7], ChannelConfig::clean(), 1, &[], FaultPlane::new());
+        assert!(run.admitted && run.programmed && run.halted);
+
+        // corrupt the self-branch into `br 0`: the loop can never halt
+        // and the store must refuse before a single frame is sent
+        let mut corrupt = golden;
+        corrupt[3] = 0x80;
+        let run = admit(corrupt).run(&[7], ChannelConfig::clean(), 1, &[], FaultPlane::new());
+        assert!(!run.admitted && !run.programmed && !run.halted);
+        assert!(run
+            .admission_findings
+            .iter()
+            .any(|f| f.lint == flexcheck::Lint::StaticHang));
+        assert!(
+            run.transfer.frames.is_empty(),
+            "nothing went over the channel"
+        );
+        assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn kernels_pass_admission() {
+        let (executor, inputs, expected) = parity_executor();
+        let gated = executor.with_admission(flexcheck::Severity::Error);
+        let run = gated.run(&inputs, ChannelConfig::clean(), 1, &[], FaultPlane::new());
+        assert!(run.admitted && run.programmed && run.halted);
+        assert_eq!(run.outputs, expected);
     }
 }
