@@ -20,6 +20,13 @@ echo "== link soak smoke =="
 # noisy channel, upset in service, and still oracle-exact
 cargo test --release --offline -p flexlink -q --test soak_acceptance
 
+echo "== attacker soak smoke =="
+# authenticated-update threat gate: >= 1000 seeded trials sweeping
+# forged, replayed, downgraded, truncated and power-cut updates across
+# all four dialects; `flexi attack` exits nonzero on any accepted
+# forgery or bricked die, failing the build
+./target/release/flexi attack --trials 1000 --seed 1
+
 echo "== flexcheck gate =="
 # static analysis over the kernel suite (all dialects must lint clean at
 # error severity) plus a seeded differential soundness smoke campaign:

@@ -1,0 +1,96 @@
+//! What does authenticated reprogramming cost per page?
+//!
+//! Three layers: the hand-written SHA-256/HMAC primitives (the per-byte
+//! floor every signed image pays), metadata-page verification alone
+//! (parse + MAC check + constant-time compare), and the full
+//! verify-and-swap path — staging transfer, authentication ladder,
+//! digest check and the two-phase A/B commit — against the raw
+//! unauthenticated transfer, so the signing overhead per page is the
+//! difference between the two.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flexasm::Target;
+use flexicore::sim::PowerCut;
+use flexlink::auth::Metadata;
+use flexlink::channel::{ChannelConfig, NoisyChannel};
+use flexlink::protocol::{program_store, LinkConfig};
+use flexlink::store::{EccStore, PAGE_BYTES};
+use flexlink::update::{Device, UpdateStatus};
+use flexlink::{crypto, sign_update};
+
+const IMAGE_BYTES: usize = 1024;
+const KEY: &[u8] = b"flexbench-auth-key";
+
+fn golden(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let image = golden(IMAGE_BYTES);
+    let mut group = c.benchmark_group("auth_primitives");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    group.bench_function("sha256_1k", |b| {
+        b.iter(|| crypto::sha256(&image));
+    });
+    group.bench_function("hmac_sha256_1k", |b| {
+        b.iter(|| crypto::hmac_sha256(KEY, &image));
+    });
+    group.finish();
+}
+
+fn bench_metadata_verify(c: &mut Criterion) {
+    let image = golden(IMAGE_BYTES);
+    let target = Target::fc4();
+    let page = Metadata::for_image(target.dialect, &image, 3).encode(KEY);
+    let mut group = c.benchmark_group("auth_metadata");
+    group.throughput(Throughput::Bytes(PAGE_BYTES as u64));
+    group.bench_function("verify_page", |b| {
+        b.iter(|| Metadata::verify(&page, KEY).unwrap().version);
+    });
+    group.finish();
+}
+
+fn bench_verify_and_swap(c: &mut Criterion) {
+    let image = golden(IMAGE_BYTES);
+    let target = Target::fc4();
+    let mut provisioned = Device::new(target, image.len(), KEY);
+    provisioned
+        .provision(&sign_update(target.dialect, &image, 1, KEY))
+        .unwrap();
+    let next = sign_update(target.dialect, &image, 2, KEY).wire_bytes();
+
+    let mut group = c.benchmark_group("auth_update");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES as u64));
+    // the raw transfer with no metadata, MAC or swap: the baseline the
+    // signed path is compared against
+    group.bench_function("unsigned_transfer_1k", |b| {
+        b.iter(|| {
+            let mut store = EccStore::erased(image.len());
+            let mut channel = NoisyChannel::new(ChannelConfig::clean(), 42);
+            program_store(&image, &mut store, &mut channel, LinkConfig::default()).frames
+        });
+    });
+    // the full authenticated path: stage, verify the metadata page,
+    // hash the staged image, check anti-rollback, two-phase swap
+    group.bench_function("signed_verify_and_swap_1k", |b| {
+        b.iter(|| {
+            let mut device = provisioned.clone();
+            let mut channel = NoisyChannel::new(ChannelConfig::clean(), 42);
+            let report = device.apply_update(&next, &mut channel, &mut PowerCut::never());
+            assert!(matches!(
+                report.status,
+                UpdateStatus::Applied { version: 2 }
+            ));
+            device.active_version()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_metadata_verify,
+    bench_verify_and_swap
+);
+criterion_main!(benches);

@@ -28,6 +28,18 @@ impl fmt::Display for CliError {
     }
 }
 
+impl CliError {
+    /// The process exit code for this failure: `2` for bad invocations
+    /// (the conventional usage-error code), `1` for everything else.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
 impl std::error::Error for CliError {}
 
 impl From<std::io::Error> for CliError {
@@ -51,7 +63,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["listing", "trace"];
+const BOOLEAN_FLAGS: &[&str] = &["listing", "trace", "signed"];
 
 impl Args {
     /// Parse raw arguments.

@@ -50,8 +50,10 @@ commands:
           [--quorum tmr|dmr|simplex] [--window N] [--interval N]
           [--retries N] [--spares N]
   link    [--dialect fc4|fc8|xacc|xls] [--kernel K] [--rates R1,R2,..]
-          [--seed N] [--upsets N] [--interval N] [--scrub N] [--retries N]
-          [--budget N]
+          [--ber R1,R2,..] [--seed N] [--upsets N] [--interval N] [--scrub N]
+          [--retries N] [--budget N] [--signed]
+  attack  [--dialect fc4|fc8|xacc|xls] [--rates R1,R2,..] [--reps N]
+          [--trials N] [--seed N] [--retries N]
   dse
   help
 
@@ -549,6 +551,7 @@ pub fn link(args: &mut Args) -> Result<String, CliError> {
         CliError::Usage(format!("unknown dialect `{dialect}` (fc4, fc8, xacc, xls)"))
     })?;
     let mut rates = args.f64_list("rates")?;
+    rates.extend(args.f64_list("ber")?);
     if rates.is_empty() {
         rates = vec![0.0, 1e-4, 5e-4];
     }
@@ -557,7 +560,9 @@ pub fn link(args: &mut Args) -> Result<String, CliError> {
             "bit-error rate {bad} outside [0, 1]"
         )));
     }
-    let mut config = SoakConfig::new(target, rates, args.num("seed", 0x11FEu64)?);
+    let signed = args.has("signed");
+    let seed = args.num("seed", 0x11FEu64)?;
+    let mut config = SoakConfig::new(target, rates, seed);
     if let Some(kernel_name) = args.flag("kernel") {
         let kernel = flexinject::kernel_from_name(&kernel_name).ok_or_else(|| {
             CliError::Usage(format!(
@@ -579,8 +584,138 @@ pub fn link(args: &mut Args) -> Result<String, CliError> {
     config.exec.budget = args.num("budget", config.exec.budget)?;
     config.link.max_retries = args.num("retries", config.link.max_retries)?;
 
+    if signed {
+        return link_signed(&config);
+    }
     let campaign = run_soak(config).map_err(|e| CliError::Run(e.to_string()))?;
     Ok(flexlink::report::render(&campaign))
+}
+
+/// `flexi link --signed` — drive one authenticated A/B update per
+/// (kernel, error-rate) cell and report each device's verdict.
+fn link_signed(config: &flexlink::SoakConfig) -> Result<String, CliError> {
+    use flexicore::sim::PowerCut;
+    use flexkernels::harness::PreparedKernel;
+    use flexlink::attack::DEVICE_KEY;
+
+    let mut out = format!(
+        "signed update: {:?} · {} kernels × {} error rates · seed {}\n\n",
+        config.target.dialect,
+        config.kernels.len(),
+        config.error_rates.len(),
+        config.seed,
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>6} {:>6}  status",
+        "kernel", "ber", "from", "to"
+    );
+    let mut applied = 0usize;
+    for (k, &kernel) in config.kernels.iter().enumerate() {
+        let prepared =
+            PreparedKernel::new(kernel, config.target).map_err(|e| CliError::Run(e.to_string()))?;
+        let image = prepared.program().as_bytes().to_vec();
+        for (r, &ber) in config.error_rates.iter().enumerate() {
+            let cell = ((k as u64) << 32) | r as u64;
+            let trial_seed = config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(cell);
+            let mut device = flexlink::Device::new(config.target, image.len(), DEVICE_KEY)
+                .with_link(config.link);
+            device
+                .provision(&flexlink::sign_update(
+                    config.target.dialect,
+                    &image,
+                    1,
+                    DEVICE_KEY,
+                ))
+                .map_err(|e| CliError::Run(format!("provisioning failed: {e}")))?;
+            let from = device.active_version().unwrap_or(0);
+            let next = flexlink::sign_update(config.target.dialect, &image, 2, DEVICE_KEY);
+            let mut channel = flexlink::NoisyChannel::new(
+                flexlink::ChannelConfig::with_bit_error_rate(ber),
+                trial_seed,
+            );
+            let report =
+                device.apply_update(&next.wire_bytes(), &mut channel, &mut PowerCut::never());
+            let to = device.active_version().unwrap_or(0);
+            if matches!(report.status, flexlink::UpdateStatus::Applied { .. }) {
+                applied += 1;
+            }
+            let _ = writeln!(
+                out,
+                "{:<14} {:>9.1e} {:>6} {:>6}  {}",
+                kernel.name(),
+                ber,
+                from,
+                to,
+                report.status
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\napplied {applied}/{} updates",
+        config.kernels.len() * config.error_rates.len()
+    );
+    Ok(out)
+}
+
+/// `flexi attack` — the authenticated-update attacker soak: sweep
+/// forgery, replay, downgrade, truncation, bit-flip and power-cut
+/// behaviours against every dialect and grade each die after reboot.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for malformed flags; [`CliError::Run`] if a
+/// kernel fails to assemble **or the campaign is breached** (any
+/// accepted forgery or bricked die), so scripted gates fail loudly.
+pub fn attack(args: &mut Args) -> Result<String, CliError> {
+    use flexlink::{run_attack_soak, AttackSoakConfig};
+
+    let mut rates = args.f64_list("rates")?;
+    rates.extend(args.f64_list("ber")?);
+    if rates.is_empty() {
+        rates = vec![0.0, 1e-4];
+    }
+    if let Some(bad) = rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+        return Err(CliError::Usage(format!(
+            "bit-error rate {bad} outside [0, 1]"
+        )));
+    }
+    let seed = args.num("seed", 0xA77Cu64)?;
+    let mut config = AttackSoakConfig::new(rates, 1, seed);
+    if let Some(dialect) = args.flag("dialect") {
+        let target = flexinject::target_from_name(&dialect).ok_or_else(|| {
+            CliError::Usage(format!("unknown dialect `{dialect}` (fc4, fc8, xacc, xls)"))
+        })?;
+        config.targets = vec![target];
+    }
+    config.link.max_retries = args.num("retries", config.link.max_retries)?;
+    config.reps = args.num("reps", config.reps)?;
+    // `--trials N` asks for at least N trials: scale the repetitions
+    let trials = args.num("trials", 0usize)?;
+    if trials > 0 {
+        let per_rep = config.trial_count() / config.reps.max(1);
+        if per_rep == 0 {
+            return Err(CliError::Usage(
+                "empty sweep: no (kernel, rate) cells".into(),
+            ));
+        }
+        config.reps = trials.div_ceil(per_rep).max(config.reps);
+    }
+
+    let campaign = run_attack_soak(config).map_err(|e| CliError::Run(e.to_string()))?;
+    let rendered = flexlink::report::render_attack(&campaign);
+    if !campaign.defended() {
+        return Err(CliError::Run(format!(
+            "attack soak breached: {} accepted forgeries, {} bricked dies\n{rendered}",
+            campaign.accepted_forgeries(),
+            campaign.bricked_dies(),
+        )));
+    }
+    Ok(rendered)
 }
 
 /// `flexi dse` — print the §6 summary.
@@ -868,6 +1003,71 @@ mod tests {
     fn link_rejects_out_of_range_rates() {
         let err = call(&["link", "--rates", "1.5"]).unwrap_err();
         assert!(err.to_string().contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn link_malformed_ber_is_a_usage_error_with_exit_code_2() {
+        for bad in ["--ber", "--rates"] {
+            let err = call(&["link", bad, "0,often,1e-4"]).unwrap_err();
+            assert!(
+                matches!(err, crate::CliError::Usage(_)),
+                "`{bad} 0,often,1e-4` must be a usage error, got {err}"
+            );
+            assert_eq!(err.exit_code(), 2, "{err}");
+            assert!(err.to_string().contains("often"), "{err}");
+        }
+        // a well-formed --ber list is accepted as an alias for --rates
+        let out = call(&["link", "--kernel", "parity", "--ber", "0,1e-4"]).unwrap();
+        assert!(out.contains("survival"), "{out}");
+    }
+
+    #[test]
+    fn link_signed_applies_updates_across_the_sweep() {
+        let out = call(&[
+            "link", "--signed", "--kernel", "parity", "--ber", "0,1e-4", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("signed update"), "{out}");
+        assert!(out.contains("applied 2/2 updates"), "{out}");
+    }
+
+    #[test]
+    fn attack_soak_defends_and_replays() {
+        let argv = &[
+            "attack",
+            "--dialect",
+            "fc8",
+            "--rates",
+            "0",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+        ];
+        let a = call(argv).unwrap();
+        let b = call(argv).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("verdict            defended"), "{a}");
+        assert!(a.contains("forge-metadata"), "{a}");
+    }
+
+    #[test]
+    fn attack_trials_floor_scales_reps() {
+        // fc8 runs one kernel × 1 rate × 8 attacks = 8 trials per rep;
+        // asking for 20 trials must round the reps up to 3
+        let out = call(&[
+            "attack",
+            "--dialect",
+            "fc8",
+            "--rates",
+            "0",
+            "--trials",
+            "20",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("24 trials"), "{out}");
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //!               [--quorum tmr|dmr|simplex] [--window N] [--interval N]
 //!               [--retries N] [--spares N]
 //! flexi link    [--dialect fc4|fc8|xacc|xls] [--kernel K] [--rates R1,R2,..]
-//!               [--seed N] [--upsets N] [--interval N] [--scrub N]
-//!               [--retries N] [--budget N]
+//!               [--ber R1,R2,..] [--seed N] [--upsets N] [--interval N]
+//!               [--scrub N] [--retries N] [--budget N] [--signed]
+//! flexi attack  [--dialect fc4|fc8|xacc|xls] [--rates R1,R2,..] [--reps N]
+//!               [--trials N] [--seed N] [--retries N]
 //! flexi dse
 //! ```
 //!
@@ -66,6 +68,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "inject" => commands::inject(&mut args)?,
         "resilient" => commands::resilient(&mut args)?,
         "link" => commands::link(&mut args)?,
+        "attack" => commands::attack(&mut args)?,
         "dse" => commands::dse(&mut args)?,
         "help" | "--help" | "-h" => commands::usage(),
         other => {

@@ -6,7 +6,7 @@ fn main() {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("flexi: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

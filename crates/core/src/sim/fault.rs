@@ -103,6 +103,134 @@ impl fmt::Display for ArchFault {
     }
 }
 
+/// What one word write to a persistent store actually committed, once a
+/// [`PowerCut`] fault site has had its say.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteEffect {
+    /// Power held: the full new value landed.
+    Committed(u16),
+    /// The supply collapsed *during* this write: an arbitrary mix of
+    /// old and new bits landed (a torn word).
+    Torn(u16),
+    /// Power was already out: the write never happened.
+    Lost,
+}
+
+impl WriteEffect {
+    /// The word value now stored, if the cell was touched at all.
+    #[must_use]
+    pub fn stored(self) -> Option<u16> {
+        match self {
+            WriteEffect::Committed(w) | WriteEffect::Torn(w) => Some(w),
+            WriteEffect::Lost => None,
+        }
+    }
+}
+
+/// A power-cut fault site on a persistent store's write path.
+///
+/// The §5.1 reprogramming flow writes the new image into an external
+/// store on the flexible programming board; that board is powered by
+/// the same marginal supply as the core, so a brown-out can strike at
+/// *any word write* of a reprogramming or commit sequence. This site
+/// models the canonical NVM failure: the write in flight when power
+/// collapses commits an arbitrary mix of old and new bits (a *torn
+/// write*), and every later write is lost outright.
+///
+/// The cut index and the torn-bit pattern are both deterministic
+/// functions of the plan, so campaigns replay bit-for-bit. Like
+/// [`FaultPlane`], an unarmed plan ([`PowerCut::never`]) is fully
+/// transparent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PowerCut {
+    /// Word-write index at which the supply collapses, if armed.
+    cut_at: Option<u64>,
+    /// Seed for the torn-bit mix of the interrupted write.
+    torn_seed: u64,
+    /// Writes observed so far.
+    writes: u64,
+    /// Whether the cut has fired.
+    fired: bool,
+}
+
+/// One round of SplitMix64 — the deterministic torn-bit draw (kept
+/// local so the core crate stays free of the vendored `rand`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PowerCut {
+    /// A plan with stable power: every write commits in full.
+    #[must_use]
+    pub fn never() -> Self {
+        PowerCut {
+            cut_at: None,
+            torn_seed: 0,
+            writes: 0,
+            fired: false,
+        }
+    }
+
+    /// A plan that tears the `cut_at`-th word write (0-based) and loses
+    /// every write after it, with the torn bits drawn from `torn_seed`.
+    #[must_use]
+    pub fn at_write(cut_at: u64, torn_seed: u64) -> Self {
+        PowerCut {
+            cut_at: Some(cut_at),
+            torn_seed,
+            writes: 0,
+            fired: false,
+        }
+    }
+
+    /// Whether the plan schedules a cut at all.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.cut_at.is_some()
+    }
+
+    /// Whether the supply has already collapsed.
+    #[must_use]
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+
+    /// The scheduled cut index, if armed.
+    #[must_use]
+    pub fn cut_index(&self) -> Option<u64> {
+        self.cut_at
+    }
+
+    /// Word writes observed so far (committed, torn or lost).
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Pass one word write through the site: the store must commit
+    /// exactly what this returns.
+    pub fn on_write(&mut self, old: u16, new: u16) -> WriteEffect {
+        let index = self.writes;
+        self.writes += 1;
+        if self.fired {
+            return WriteEffect::Lost;
+        }
+        match self.cut_at {
+            Some(at) if index >= at => {
+                self.fired = true;
+                let mut state = self.torn_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mask = splitmix64(&mut state) as u16;
+                WriteEffect::Torn((old & !mask) | (new & mask))
+            }
+            _ => WriteEffect::Committed(new),
+        }
+    }
+}
+
 /// A mutable view of a core's architectural state, handed to
 /// [`FaultHook::on_state`] after every retired instruction (and once
 /// before the first, from `run_with`).
@@ -471,6 +599,65 @@ mod tests {
         p.on_state(1, &mut state);
         assert_eq!(pending, 0x5, "latch corrupted while a commit is in flight");
         assert_eq!(page, 0, "committed page register untouched");
+    }
+
+    #[test]
+    fn unarmed_power_is_transparent() {
+        let mut power = PowerCut::never();
+        assert!(!power.is_armed());
+        for i in 0..32u16 {
+            assert_eq!(power.on_write(0, i), WriteEffect::Committed(i));
+        }
+        assert!(!power.has_fired());
+        assert_eq!(power.writes(), 32);
+    }
+
+    #[test]
+    fn cut_tears_one_write_and_loses_the_rest() {
+        let mut power = PowerCut::at_write(2, 7);
+        assert_eq!(power.on_write(0, 0xFFFF), WriteEffect::Committed(0xFFFF));
+        assert_eq!(power.on_write(0, 0xFFFF), WriteEffect::Committed(0xFFFF));
+        let torn = power.on_write(0x0000, 0xFFFF);
+        let WriteEffect::Torn(word) = torn else {
+            panic!("write at the cut index must tear, got {torn:?}");
+        };
+        // the torn word mixes old (0) and new (all-ones) bits; with the
+        // operands fully disagreeing any value is admissible, so only
+        // the state machine is checked here (torn_bits_mix_only_old_and_new
+        // covers the mixing law)
+        let _ = word;
+        assert!(power.has_fired());
+        assert_eq!(power.on_write(0, 0xFFFF), WriteEffect::Lost);
+        assert_eq!(power.on_write(0, 0xFFFF), WriteEffect::Lost);
+    }
+
+    #[test]
+    fn torn_bits_mix_only_old_and_new() {
+        // every torn bit must come from either the old or the new word:
+        // positions where both agree must survive unchanged
+        for seed in 0..64u64 {
+            let mut power = PowerCut::at_write(0, seed);
+            let (old, new) = (0b1010_1010_1010_1010u16, 0b1010_0101_0101_1010);
+            let WriteEffect::Torn(word) = power.on_write(old, new) else {
+                panic!("cut at write 0 must tear immediately");
+            };
+            let agree = !(old ^ new);
+            assert_eq!(
+                word & agree,
+                old & agree,
+                "seed {seed}: agreed bits flipped"
+            );
+        }
+    }
+
+    #[test]
+    fn power_cut_replays_bit_for_bit() {
+        let run = |seed| {
+            let mut power = PowerCut::at_write(3, seed);
+            (0..8u16).map(|i| power.on_write(i, !i)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11)[3], run(12)[3], "different seeds tear differently");
     }
 
     #[test]

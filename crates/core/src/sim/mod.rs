@@ -25,7 +25,10 @@ pub mod fc8;
 pub mod xacc;
 pub mod xls;
 
-pub use fault::{ArchFault, ArchState, FaultHook, FaultKind, FaultPlane, NoFaults, StateElement};
+pub use fault::{
+    ArchFault, ArchState, FaultHook, FaultKind, FaultPlane, NoFaults, PowerCut, StateElement,
+    WriteEffect,
+};
 
 /// Why a `run` call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -43,6 +43,7 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultModel, Out
 pub use pool::{PoolDie, SalvagePool};
 pub use report::Tally;
 pub use salvage::{SalvageAnalysis, SalvageConfig};
+pub use sites::power_cut_plans;
 
 use flexasm::Target;
 use flexkernels::Kernel;

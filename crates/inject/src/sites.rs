@@ -7,7 +7,7 @@
 //! the campaign determinism contract.
 
 use flexicore::isa::Dialect;
-use flexicore::sim::{ArchFault, FaultKind, StateElement};
+use flexicore::sim::{ArchFault, FaultKind, PowerCut, StateElement};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -114,6 +114,20 @@ pub fn die_faults(dialect: Dialect, defect_seed: u64, count: u32) -> Vec<ArchFau
         .collect()
 }
 
+/// Draw `count` seeded power-cut plans for a reprogramming campaign:
+/// each plan arms a supply collapse at a uniform word-write index below
+/// `writes_bound` (the store's write budget for one update — staging
+/// pages plus commit-control words), with a per-plan torn-bit seed. The
+/// draw order is part of the replay contract, exactly like
+/// [`enumerate`]'s site order.
+#[must_use]
+pub fn power_cut_plans(seed: u64, writes_bound: u64, count: usize) -> Vec<PowerCut> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x70D0_C0DE);
+    (0..count)
+        .map(|_| PowerCut::at_write(rng.gen_range(0..writes_bound.max(1)), rng.gen()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +215,23 @@ mod tests {
                 }
             }
             assert!(core.mem(mem_words(dialect)).is_none(), "{dialect:?}");
+        }
+    }
+
+    #[test]
+    fn power_cut_plans_are_seeded_and_in_bound() {
+        let a = power_cut_plans(9, 500, 16);
+        let b = power_cut_plans(9, 500, 16);
+        assert_eq!(a, b, "same seed, same plans");
+        assert_eq!(a.len(), 16);
+        for plan in &a {
+            assert!(plan.is_armed());
+            assert!(plan.cut_index().unwrap() < 500);
+        }
+        assert_ne!(a, power_cut_plans(10, 500, 16));
+        // a degenerate write budget still yields armed, valid plans
+        for plan in power_cut_plans(3, 0, 4) {
+            assert_eq!(plan.cut_index(), Some(0));
         }
     }
 

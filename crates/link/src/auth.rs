@@ -1,0 +1,306 @@
+//! The authenticated image metadata page.
+//!
+//! A signed update is the program image plus one extra [`PAGE_BYTES`]
+//! metadata page describing it — length, target dialect, monotonic
+//! version counter, SHA-256 digest — with the describing fields bound
+//! together by an HMAC-SHA256 tag ([`crate::crypto`]). The device only
+//! activates a staged image whose metadata page carries a valid tag
+//! under the device key, whose digest matches the staged bytes, and
+//! whose version strictly exceeds the active image's (anti-rollback).
+//!
+//! Page layout (all fields little-endian, zeros elsewhere):
+//!
+//! | offset  | field                                   |
+//! |---------|-----------------------------------------|
+//! | 0..4    | magic `b"FXUP"`                         |
+//! | 4       | format version (currently 1)            |
+//! | 5       | dialect tag (fc4=0, fc8=1, xacc=2, xls=3) |
+//! | 6..8    | reserved (zero)                          |
+//! | 8..12   | image length in bytes, `u32`            |
+//! | 12..20  | monotonic version counter, `u64`        |
+//! | 20..52  | SHA-256 digest of the image bytes       |
+//! | 52..84  | HMAC-SHA256 tag over bytes `0..52`      |
+//!
+//! Parsing is panic-free on arbitrary bytes (a torn or attacked page
+//! must degrade to a rejection, never a crash) and keyless — the tag
+//! is checked separately by [`Metadata::verify`] so campaign code can
+//! distinguish "malformed" from "forged".
+
+use crate::crypto::{self, DIGEST_BYTES};
+use crate::store::PAGE_BYTES;
+use flexicore::isa::Dialect;
+
+/// The magic bytes opening a metadata page.
+pub const MAGIC: [u8; 4] = *b"FXUP";
+
+/// The metadata format this code writes and accepts.
+pub const FORMAT: u8 = 1;
+
+/// Byte range covered by the HMAC tag.
+const SIGNED_END: usize = 52;
+
+/// Byte range holding the HMAC tag.
+const TAG_RANGE: core::ops::Range<usize> = 52..84;
+
+/// Why a metadata page failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Fewer bytes than the signed region plus tag.
+    TooShort,
+    /// The magic bytes are wrong.
+    BadMagic,
+    /// The format byte is not a version this code understands.
+    BadFormat(u8),
+    /// The dialect tag names no dialect.
+    BadDialect(u8),
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::TooShort => write!(f, "metadata page too short"),
+            ParseError::BadMagic => write!(f, "bad metadata magic"),
+            ParseError::BadFormat(v) => write!(f, "unsupported metadata format {v}"),
+            ParseError::BadDialect(t) => write!(f, "unknown dialect tag {t}"),
+        }
+    }
+}
+
+/// The authenticated description of one program image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// Dialect the image was assembled for.
+    pub dialect: Dialect,
+    /// Image length in bytes.
+    pub length: u32,
+    /// Monotonic anti-rollback version counter.
+    pub version: u64,
+    /// SHA-256 digest of the image bytes.
+    pub digest: [u8; DIGEST_BYTES],
+}
+
+/// Stable wire tag for a dialect.
+#[must_use]
+pub fn dialect_tag(dialect: Dialect) -> u8 {
+    match dialect {
+        Dialect::Fc4 => 0,
+        Dialect::Fc8 => 1,
+        Dialect::ExtendedAcc => 2,
+        Dialect::LoadStore => 3,
+    }
+}
+
+fn dialect_from_tag(tag: u8) -> Option<Dialect> {
+    match tag {
+        0 => Some(Dialect::Fc4),
+        1 => Some(Dialect::Fc8),
+        2 => Some(Dialect::ExtendedAcc),
+        3 => Some(Dialect::LoadStore),
+        _ => None,
+    }
+}
+
+impl Metadata {
+    /// Describe `image` at `version` for `dialect` (digest computed
+    /// here).
+    #[must_use]
+    pub fn for_image(dialect: Dialect, image: &[u8], version: u64) -> Self {
+        Metadata {
+            dialect,
+            length: image.len() as u32,
+            version,
+            digest: crypto::sha256(image),
+        }
+    }
+
+    /// Serialise to a full metadata page, tagged under `key`.
+    #[must_use]
+    pub fn encode(&self, key: &[u8]) -> [u8; PAGE_BYTES] {
+        let mut page = [0u8; PAGE_BYTES];
+        page[0..4].copy_from_slice(&MAGIC);
+        page[4] = FORMAT;
+        page[5] = dialect_tag(self.dialect);
+        page[8..12].copy_from_slice(&self.length.to_le_bytes());
+        page[12..20].copy_from_slice(&self.version.to_le_bytes());
+        page[20..52].copy_from_slice(&self.digest);
+        let tag = crypto::hmac_sha256(key, &page[..SIGNED_END]);
+        page[TAG_RANGE].copy_from_slice(&tag);
+        page
+    }
+
+    /// Parse the structural fields of a page. Keyless and panic-free
+    /// on arbitrary input; the tag bytes are *not* checked here — use
+    /// [`Metadata::verify`] for that.
+    pub fn parse(bytes: &[u8]) -> Result<Metadata, ParseError> {
+        if bytes.len() < TAG_RANGE.end {
+            return Err(ParseError::TooShort);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(ParseError::BadMagic);
+        }
+        if bytes[4] != FORMAT {
+            return Err(ParseError::BadFormat(bytes[4]));
+        }
+        let dialect = dialect_from_tag(bytes[5]).ok_or(ParseError::BadDialect(bytes[5]))?;
+        let mut length = [0u8; 4];
+        length.copy_from_slice(&bytes[8..12]);
+        let mut version = [0u8; 8];
+        version.copy_from_slice(&bytes[12..20]);
+        let mut digest = [0u8; DIGEST_BYTES];
+        digest.copy_from_slice(&bytes[20..52]);
+        Ok(Metadata {
+            dialect,
+            length: u32::from_le_bytes(length),
+            version: u64::from_le_bytes(version),
+            digest,
+        })
+    }
+
+    /// Parse *and* authenticate a page: structure, then the HMAC tag
+    /// over the signed region, in constant time.
+    pub fn verify(bytes: &[u8], key: &[u8]) -> Result<Metadata, AuthError> {
+        let meta = Metadata::parse(bytes).map_err(AuthError::Malformed)?;
+        if !crypto::verify_hmac_sha256(key, &bytes[..SIGNED_END], &bytes[TAG_RANGE]) {
+            return Err(AuthError::BadTag);
+        }
+        Ok(meta)
+    }
+
+    /// Whether `image` is the exact bytes this metadata describes.
+    #[must_use]
+    pub fn matches_image(&self, image: &[u8]) -> bool {
+        self.length as usize == image.len() && crypto::ct_eq(&self.digest, &crypto::sha256(image))
+    }
+}
+
+/// Why an authenticated parse failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// The page's structural fields are invalid.
+    Malformed(ParseError),
+    /// Structure is fine but the HMAC tag does not verify — a forgery
+    /// or a corrupted-but-well-formed page.
+    BadTag,
+}
+
+impl core::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AuthError::Malformed(e) => write!(f, "malformed metadata: {e}"),
+            AuthError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+/// A ready-to-transfer signed update: the metadata page followed by
+/// the image bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedUpdate {
+    /// The encoded, tagged metadata page.
+    pub metadata_page: [u8; PAGE_BYTES],
+    /// The raw image bytes the metadata describes.
+    pub image: Vec<u8>,
+}
+
+impl SignedUpdate {
+    /// The update's wire bytes: metadata page then image.
+    #[must_use]
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        let mut bytes = self.metadata_page.to_vec();
+        bytes.extend_from_slice(&self.image);
+        bytes
+    }
+}
+
+/// Sign `image` at `version` for `dialect` under `key`.
+#[must_use]
+pub fn sign_update(dialect: Dialect, image: &[u8], version: u64, key: &[u8]) -> SignedUpdate {
+    let metadata_page = Metadata::for_image(dialect, image, version).encode(key);
+    SignedUpdate {
+        metadata_page,
+        image: image.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8] = b"flexi-device-key";
+
+    #[test]
+    fn encode_verify_round_trips() {
+        let image: Vec<u8> = (0..200u16).map(|i| (i * 13) as u8).collect();
+        let meta = Metadata::for_image(Dialect::Fc8, &image, 7);
+        let page = meta.encode(KEY);
+        let back = Metadata::verify(&page, KEY).unwrap();
+        assert_eq!(back, meta);
+        assert!(back.matches_image(&image));
+        assert!(!back.matches_image(&image[..199]));
+        let mut other = image.clone();
+        other[0] ^= 1;
+        assert!(!back.matches_image(&other));
+    }
+
+    #[test]
+    fn every_dialect_tag_round_trips() {
+        for dialect in [
+            Dialect::Fc4,
+            Dialect::Fc8,
+            Dialect::ExtendedAcc,
+            Dialect::LoadStore,
+        ] {
+            let page = Metadata::for_image(dialect, &[1, 2, 3], 1).encode(KEY);
+            assert_eq!(Metadata::parse(&page).unwrap().dialect, dialect);
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_a_bad_tag() {
+        let page = Metadata::for_image(Dialect::Fc4, &[0u8; 16], 3).encode(KEY);
+        assert_eq!(
+            Metadata::verify(&page, b"not-the-key").unwrap_err(),
+            AuthError::BadTag
+        );
+    }
+
+    #[test]
+    fn any_flipped_bit_in_the_signed_region_is_rejected() {
+        let page = Metadata::for_image(Dialect::LoadStore, &[9u8; 64], 12).encode(KEY);
+        for byte in 0..84 {
+            let mut torn = page;
+            torn[byte] ^= 0x10;
+            assert!(
+                Metadata::verify(&torn, KEY).is_err(),
+                "flip at byte {byte} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        let good = Metadata::for_image(Dialect::Fc4, &[1u8; 8], 1).encode(KEY);
+        assert_eq!(Metadata::parse(&good[..50]), Err(ParseError::TooShort));
+        let mut bad = good;
+        bad[0] = b'X';
+        assert_eq!(Metadata::parse(&bad), Err(ParseError::BadMagic));
+        let mut bad = good;
+        bad[4] = 9;
+        assert_eq!(Metadata::parse(&bad), Err(ParseError::BadFormat(9)));
+        let mut bad = good;
+        bad[5] = 200;
+        assert_eq!(Metadata::parse(&bad), Err(ParseError::BadDialect(200)));
+    }
+
+    #[test]
+    fn sign_update_wire_layout() {
+        let update = sign_update(Dialect::Fc4, &[5u8; 40], 2, KEY);
+        let wire = update.wire_bytes();
+        assert_eq!(wire.len(), PAGE_BYTES + 40);
+        assert_eq!(&wire[..4], &MAGIC);
+        assert_eq!(&wire[PAGE_BYTES..], &[5u8; 40]);
+        let meta = Metadata::verify(&update.metadata_page, KEY).unwrap();
+        assert_eq!(meta.version, 2);
+        assert!(meta.matches_image(&update.image));
+    }
+}

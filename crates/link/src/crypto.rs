@@ -1,0 +1,318 @@
+//! Minimal SHA-256 and HMAC-SHA256 for image authentication.
+//!
+//! The secure-update path (see [`crate::auth`]) needs a collision-
+//! resistant digest for image integrity and a keyed MAC for
+//! authenticity, but the workspace vendors its dependencies and ships
+//! no crypto crate. This module is a from-scratch FIPS 180-4 SHA-256
+//! plus RFC 2104 HMAC — small, allocation-light, and pinned by the
+//! standard known-answer vectors (empty string, `"abc"`, RFC 4231).
+//!
+//! It is *not* hardened against timing side channels beyond the
+//! constant-time tag comparison in [`verify_hmac_sha256`]; the threat
+//! model (DESIGN.md §11) is a man-in-the-middle on the programming
+//! link, not a co-resident attacker timing the verifier.
+
+/// Digest length in bytes.
+pub const DIGEST_BYTES: usize = 32;
+
+/// SHA-256 block length in bytes.
+const BLOCK_BYTES: usize = 64;
+
+/// FIPS 180-4 §4.2.2 round constants (first 32 bits of the fractional
+/// parts of the cube roots of the first 64 primes).
+#[rustfmt::skip]
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+    0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+    0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+    0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state (first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; BLOCK_BYTES],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0; BLOCK_BYTES],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb more message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (BLOCK_BYTES - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < BLOCK_BYTES {
+                // data exhausted into a still-partial buffer
+                return;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(BLOCK_BYTES);
+        for block in &mut chunks {
+            let mut b = [0u8; BLOCK_BYTES];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rest = chunks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    /// Finish padding and produce the digest.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; DIGEST_BYTES] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // One 0x80 byte, zeros, then the 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != BLOCK_BYTES - 8 {
+            self.update(&[0]);
+        }
+        // update() would re-count the length bytes; write them directly.
+        self.buf[BLOCK_BYTES - 8..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; DIGEST_BYTES];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// FIPS 180-4 §6.2.2 compression of one 64-byte block.
+    fn compress(&mut self, block: &[u8; BLOCK_BYTES]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// SHA-256 of a message in one shot.
+#[must_use]
+pub fn sha256(data: &[u8]) -> [u8; DIGEST_BYTES] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// RFC 2104 HMAC-SHA256 of `message` under `key`.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_BYTES] {
+    let mut key_block = [0u8; BLOCK_BYTES];
+    if key.len() > BLOCK_BYTES {
+        key_block[..DIGEST_BYTES].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time tag comparison: the verifier must not leak, via an
+/// early exit, how many prefix bytes of a forged tag were right.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (&x, &y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Verify an HMAC-SHA256 tag in constant time.
+#[must_use]
+pub fn verify_hmac_sha256(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    ct_eq(&hmac_sha256(key, message), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_empty_string() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        // FIPS 180-4 example B.2: 56 bytes forces the padding into a
+        // second block.
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        // FIPS 180-4 example B.3, streamed in uneven chunks to exercise
+        // the buffering path.
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 997];
+        let mut fed = 0usize;
+        while fed < 1_000_000 {
+            let take = chunk.len().min(1_000_000 - fed);
+            h.update(&chunk[..take]);
+            fed += take;
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let msg: Vec<u8> = (0..300u16).map(|i| (i * 31) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 128, 299, 300] {
+            let mut h = Sha256::new();
+            h.update(&msg[..split]);
+            h.update(&msg[split..]);
+            assert_eq!(h.finalize(), sha256(&msg), "split {split}");
+        }
+    }
+
+    #[test]
+    fn hmac_rfc4231_case_1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn hmac_rfc4231_case_2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn hmac_rfc4231_case_6_long_key() {
+        // 131-byte key exercises the hash-the-key path.
+        let key = [0xaa; 131];
+        assert_eq!(
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_good_and_rejects_bad_tags() {
+        let tag = hmac_sha256(b"key", b"message");
+        assert!(verify_hmac_sha256(b"key", b"message", &tag));
+        let mut forged = tag;
+        forged[31] ^= 1;
+        assert!(!verify_hmac_sha256(b"key", b"message", &forged));
+        assert!(!verify_hmac_sha256(b"key", b"message", &tag[..31]));
+        assert!(!verify_hmac_sha256(b"other", b"message", &tag));
+    }
+}

@@ -23,7 +23,7 @@
 
 use crate::channel::{ChannelConfig, NoisyChannel};
 use crate::protocol::{self, FrameClass, LinkConfig, TransferReport};
-use crate::store::EccStore;
+use crate::store::{EccStore, PAGE_BYTES};
 use flexasm::Target;
 use flexicore::exec::{AnyCore, Snapshot};
 use flexicore::io::{RecordingOutput, ScriptedInput};
@@ -109,6 +109,13 @@ pub enum LinkEvent {
         /// What went wrong.
         cause: LinkRetryCause,
     },
+    /// Channel repair of a decayed page failed, and the executor fell
+    /// back to the last authenticated image (the A partition's copy),
+    /// restarting execution from power-on.
+    ImageRollback {
+        /// Segment boundary at which the rollback happened.
+        segment: usize,
+    },
 }
 
 /// Accumulated scrub telemetry over a run.
@@ -143,6 +150,10 @@ pub struct LinkRun {
     pub gave_up: bool,
     /// Segment re-executions (crash or hang rollbacks).
     pub rollbacks: u32,
+    /// Full-image rollbacks to the last authenticated prior image
+    /// after a failed channel repair (see
+    /// [`LinkedExecutor::with_rollback`]).
+    pub image_rollbacks: u32,
     /// Pages reprogrammed over the channel after the initial transfer.
     pub reprogrammed_pages: u32,
     /// Single-bit corrections applied by the materializing read path.
@@ -179,6 +190,7 @@ pub struct LinkedExecutor {
     link: LinkConfig,
     exec: LinkExecConfig,
     admission: Option<flexcheck::Severity>,
+    prior: Option<Program>,
 }
 
 impl LinkedExecutor {
@@ -191,7 +203,19 @@ impl LinkedExecutor {
             link,
             exec,
             admission: None,
+            prior: None,
         }
+    }
+
+    /// Arm last-resort image rollback: when a decayed page cannot be
+    /// reprogrammed over the channel, fall back to `prior` — the last
+    /// authenticated image, held locally in the A partition — instead
+    /// of executing a corrupt store. The fallback is a *local* write
+    /// (no channel), followed by a power-on restart.
+    #[must_use]
+    pub fn with_rollback(mut self, prior: Program) -> Self {
+        self.prior = Some(prior);
+        self
     }
 
     /// Gate store programming on the static analyzer: an image with any
@@ -221,7 +245,7 @@ impl LinkedExecutor {
         channel_cfg: ChannelConfig,
         channel_seed: u64,
         upsets: &[StoreUpset],
-        mut plane: FaultPlane,
+        plane: FaultPlane,
     ) -> LinkRun {
         if let Some(deny) = self.admission {
             let report = flexcheck::analyze(&self.target, &self.golden);
@@ -232,21 +256,12 @@ impl LinkedExecutor {
                 return LinkRun {
                     admitted: false,
                     admission_findings: findings,
-                    transfer: TransferReport {
+                    programmed: false,
+                    ..self.blank_run(TransferReport {
                         frames: Vec::new(),
                         backoff_cycles: 0,
                         channel: Default::default(),
-                    },
-                    programmed: false,
-                    outputs: Vec::new(),
-                    halted: false,
-                    gave_up: false,
-                    rollbacks: 0,
-                    reprogrammed_pages: 0,
-                    read_corrections: 0,
-                    scrub: ScrubTotals::default(),
-                    trace: Vec::new(),
-                    end: StateDigest::of(&self.fresh_core(self.golden.clone()).snapshot()),
+                    })
                 };
             }
         }
@@ -257,27 +272,75 @@ impl LinkedExecutor {
             protocol::program_store(self.golden.as_bytes(), &mut store, &mut channel, self.link);
         let programmed = transfer.complete();
 
-        let mut run = LinkRun {
-            admitted: true,
-            admission_findings: Vec::new(),
-            transfer,
+        let run = LinkRun {
             programmed,
-            outputs: Vec::new(),
-            halted: false,
-            gave_up: false,
-            rollbacks: 0,
-            reprogrammed_pages: 0,
-            read_corrections: 0,
-            scrub: ScrubTotals::default(),
-            trace: Vec::new(),
-            end: StateDigest::of(&self.fresh_core(self.golden.clone()).snapshot()),
+            ..self.blank_run(transfer)
         };
         if !programmed {
             // the image never verified: refuse to run corrupt code
             return run;
         }
+        self.execute(run, store, channel, inputs, upsets, plane)
+    }
 
-        let mut core = self.fresh_core(self.materialize(&mut run, &mut store, &mut channel, 0));
+    /// Run out of an already-programmed store — the post-update boot
+    /// path, where the image reached the die earlier and only repairs
+    /// (and last-resort rollback) may touch the channel.
+    #[must_use]
+    pub fn run_from_store(
+        &self,
+        store: EccStore,
+        inputs: &[u8],
+        channel_cfg: ChannelConfig,
+        channel_seed: u64,
+        upsets: &[StoreUpset],
+        plane: FaultPlane,
+    ) -> LinkRun {
+        let channel = NoisyChannel::new(channel_cfg, channel_seed);
+        let run = self.blank_run(TransferReport {
+            frames: Vec::new(),
+            backoff_cycles: 0,
+            channel: Default::default(),
+        });
+        self.execute(run, store, channel, inputs, upsets, plane)
+    }
+
+    /// A run skeleton before execution: admitted, programmed, empty
+    /// telemetry.
+    fn blank_run(&self, transfer: TransferReport) -> LinkRun {
+        LinkRun {
+            admitted: true,
+            admission_findings: Vec::new(),
+            transfer,
+            programmed: true,
+            outputs: Vec::new(),
+            halted: false,
+            gave_up: false,
+            rollbacks: 0,
+            image_rollbacks: 0,
+            reprogrammed_pages: 0,
+            read_corrections: 0,
+            scrub: ScrubTotals::default(),
+            trace: Vec::new(),
+            end: StateDigest::of(&self.fresh_core(self.golden.clone()).snapshot()),
+        }
+    }
+
+    /// The checkpointed execution loop over a programmed store.
+    fn execute(
+        &self,
+        mut run: LinkRun,
+        mut store: EccStore,
+        mut channel: NoisyChannel,
+        inputs: &[u8],
+        upsets: &[StoreUpset],
+        mut plane: FaultPlane,
+    ) -> LinkRun {
+        // a rollback on the very first materialize is benign: nothing
+        // has executed yet, and the power-on below already starts from
+        // the restored image
+        let (image, _fell_back) = self.materialize(&mut run, &mut store, &mut channel, 0);
+        let mut core = self.fresh_core(image);
         let mut checkpoint = Checkpoint {
             snap: core.snapshot(),
             input: ScriptedInput::new(inputs.to_vec()),
@@ -310,7 +373,26 @@ impl LinkedExecutor {
                     uncorrectable: report.uncorrectable,
                 });
             }
-            let image = self.materialize(&mut run, &mut store, &mut channel, segment);
+            let (image, fell_back) = self.materialize(&mut run, &mut store, &mut channel, segment);
+            if fell_back {
+                if run.image_rollbacks > self.exec.max_retries {
+                    run.gave_up = true;
+                    break 'run;
+                }
+                // the restored image is a different program: committed
+                // work no longer applies, so restart from power-on
+                core = self.fresh_core(image);
+                checkpoint = Checkpoint {
+                    snap: core.snapshot(),
+                    input: ScriptedInput::new(inputs.to_vec()),
+                    committed: Vec::new(),
+                };
+                core.power_on_faults(&mut plane);
+                input = checkpoint.input.clone();
+                output = RecordingOutput::new();
+                segment += 1;
+                continue 'run;
+            }
             if image.as_bytes() != core.program().as_bytes() {
                 // the store was repaired: roll back onto the repaired
                 // image so the segment re-fetches re-programmed code
@@ -358,7 +440,25 @@ impl LinkedExecutor {
                             corrected: report.corrected,
                             uncorrectable: report.uncorrectable,
                         });
-                        let image = self.materialize(&mut run, &mut store, &mut channel, segment);
+                        let (image, fell_back) =
+                            self.materialize(&mut run, &mut store, &mut channel, segment);
+                        if fell_back {
+                            if run.image_rollbacks > self.exec.max_retries {
+                                run.gave_up = true;
+                                break 'run;
+                            }
+                            core = self.fresh_core(image);
+                            checkpoint = Checkpoint {
+                                snap: core.snapshot(),
+                                input: ScriptedInput::new(inputs.to_vec()),
+                                committed: Vec::new(),
+                            };
+                            core.power_on_faults(&mut plane);
+                            input = checkpoint.input.clone();
+                            output = RecordingOutput::new();
+                            segment += 1;
+                            continue 'run;
+                        }
                         core = self.fresh_core(image);
                         core.restore(&checkpoint.snap);
                         input = checkpoint.input.clone();
@@ -385,14 +485,18 @@ impl LinkedExecutor {
     }
 
     /// Decode the store into an executable image, reprogramming any
-    /// page that has decayed beyond correction.
+    /// page that has decayed beyond correction. If the channel repair
+    /// itself fails and a prior image is armed (see
+    /// [`with_rollback`](Self::with_rollback)), the store is rewritten
+    /// locally from the prior image and the second tuple element is
+    /// `true`: the caller must restart from power-on.
     fn materialize(
         &self,
         run: &mut LinkRun,
         store: &mut EccStore,
         channel: &mut NoisyChannel,
         segment: usize,
-    ) -> Program {
+    ) -> (Program, bool) {
         let mut m = store.materialize();
         run.read_corrections += m.corrected;
         if !m.bad_pages.is_empty() {
@@ -416,8 +520,24 @@ impl LinkedExecutor {
                 });
             }
             m = store.materialize();
+            if !m.bad_pages.is_empty() {
+                if let Some(prior) = &self.prior {
+                    // the channel could not bring the store back: fall
+                    // back to the locally held authenticated image
+                    let bytes = prior.as_bytes();
+                    *store = EccStore::erased(bytes.len());
+                    for page in 0..bytes.len().div_ceil(PAGE_BYTES) {
+                        let lo = page * PAGE_BYTES;
+                        let hi = (lo + PAGE_BYTES).min(bytes.len());
+                        store.write_page(page, &bytes[lo..hi]);
+                    }
+                    run.image_rollbacks += 1;
+                    run.trace.push(LinkEvent::ImageRollback { segment });
+                    return (prior.clone(), true);
+                }
+            }
         }
-        m.program
+        (m.program, false)
     }
 }
 
@@ -625,6 +745,120 @@ mod tests {
             "nothing went over the channel"
         );
         assert!(run.outputs.is_empty());
+    }
+
+    fn store_with(program: &Program) -> EccStore {
+        let bytes = program.as_bytes();
+        let mut store = EccStore::erased(bytes.len());
+        for page in 0..bytes.len().div_ceil(PAGE_BYTES) {
+            let lo = page * PAGE_BYTES;
+            let hi = (lo + PAGE_BYTES).min(bytes.len());
+            store.write_page(page, &bytes[lo..hi]);
+        }
+        store
+    }
+
+    #[test]
+    fn run_from_store_executes_a_preprogrammed_image() {
+        let (executor, inputs, expected) = parity_executor();
+        let store = store_with(executor.golden());
+        let run = executor.run_from_store(
+            store,
+            &inputs,
+            ChannelConfig::clean(),
+            1,
+            &[],
+            FaultPlane::new(),
+        );
+        assert!(run.halted && !run.gave_up);
+        assert_eq!(run.outputs, expected);
+        assert!(run.transfer.frames.is_empty(), "no initial transfer ran");
+        assert_eq!(run.image_rollbacks, 0);
+    }
+
+    #[test]
+    fn failed_repair_rolls_back_to_the_prior_image() {
+        let (executor, inputs, expected) = parity_executor();
+        let prior = executor.golden().clone();
+        let executor = executor.with_rollback(prior);
+        let mut store = store_with(executor.golden());
+        // two flips in one word: beyond SECDED correction, and the dead
+        // channel below means the page repair can never succeed
+        store.flip_bit(3, 1);
+        store.flip_bit(3, 9);
+        let dead = ChannelConfig {
+            drop_rate: 1.0,
+            ..ChannelConfig::clean()
+        };
+        let run = executor.run_from_store(store, &inputs, dead, 5, &[], FaultPlane::new());
+        assert!(run.halted && !run.gave_up, "{:?}", run.trace);
+        assert_eq!(run.outputs, expected, "the prior image runs oracle-exact");
+        assert_eq!(run.image_rollbacks, 1, "{:?}", run.trace);
+        assert!(run
+            .trace
+            .iter()
+            .any(|e| matches!(e, LinkEvent::ImageRollback { .. })));
+    }
+
+    #[test]
+    fn mid_run_decay_with_a_dead_channel_restarts_on_the_prior_image() {
+        let (executor, inputs, expected) = parity_executor();
+        let prior = executor.golden().clone();
+        let executor = executor.with_rollback(prior);
+        let upsets = [
+            StoreUpset {
+                segment: 1,
+                word: 3,
+                bit: 1,
+            },
+            StoreUpset {
+                segment: 1,
+                word: 3,
+                bit: 9,
+            },
+        ];
+        let dead = ChannelConfig {
+            drop_rate: 1.0,
+            ..ChannelConfig::clean()
+        };
+        let a = executor.run_from_store(
+            store_with(executor.golden()),
+            &inputs,
+            dead,
+            5,
+            &upsets,
+            FaultPlane::new(),
+        );
+        assert!(a.halted && !a.gave_up, "{:?}", a.trace);
+        assert_eq!(a.outputs, expected, "power-on restart recommits everything");
+        assert!(a.image_rollbacks >= 1, "{:?}", a.trace);
+        let b = executor.run_from_store(
+            store_with(executor.golden()),
+            &inputs,
+            dead,
+            5,
+            &upsets,
+            FaultPlane::new(),
+        );
+        assert_eq!(a, b, "rollback runs replay bit-for-bit");
+    }
+
+    #[test]
+    fn unrepairable_store_without_a_prior_image_gives_up_or_degrades() {
+        let (executor, inputs, expected) = parity_executor();
+        let mut store = store_with(executor.golden());
+        store.flip_bit(3, 1);
+        store.flip_bit(3, 9);
+        let dead = ChannelConfig {
+            drop_rate: 1.0,
+            ..ChannelConfig::clean()
+        };
+        let run = executor.run_from_store(store, &inputs, dead, 5, &[], FaultPlane::new());
+        assert_eq!(run.image_rollbacks, 0, "no prior image was armed");
+        assert!(
+            run.gave_up || run.outputs != expected || run.reprogrammed_pages > 0,
+            "a corrupt store with no fallback cannot silently run clean: {run:?}"
+        );
     }
 
     #[test]

@@ -26,21 +26,49 @@
 //! * [`soak`] / [`report`] — seeded soak campaigns (kernels × channel
 //!   error rates) classifying every trial masked / recovered /
 //!   unrecoverable, with bit-for-bit replayable telemetry.
+//!
+//! PR 6 hardens the link against *adversaries and power loss*, not
+//! just noise (ROADMAP item 4, after the OpenSK upgrade-partition
+//! playbook):
+//!
+//! * [`crypto`] — hand-written SHA-256 and HMAC-SHA256 (the workspace
+//!   vendors its deps; no crypto crates).
+//! * [`auth`] — the signed image metadata page: length, dialect,
+//!   monotonic anti-rollback version, digest, HMAC tag.
+//! * [`partition`] — A/B dual-slot ECC store with a two-phase commit
+//!   marker, so a power cut at any word write boots the old image.
+//! * [`update`] — the device-side secure-update engine: stage to the
+//!   inactive slot, verify (MAC, digest, dialect, anti-rollback,
+//!   `flexcheck` admission), then atomically swap.
+//! * [`attack`] — an active man-in-the-middle on the programming link
+//!   (forgery, replay, downgrade, truncation, bit flips) plus seeded
+//!   attacker × power-cut soak campaigns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
+pub mod auth;
 pub mod channel;
+pub mod crypto;
 pub mod ecc;
 pub mod exec;
 pub mod frame;
+pub mod partition;
 pub mod protocol;
 pub mod report;
 pub mod soak;
 pub mod store;
+pub mod update;
 
+pub use attack::{
+    run_attack_soak, Attack, AttackCampaign, AttackMix, AttackOutcome, AttackSoakConfig,
+};
+pub use auth::{sign_update, Metadata, SignedUpdate};
 pub use channel::{ChannelConfig, NoisyChannel};
 pub use exec::{LinkExecConfig, LinkRun, LinkedExecutor, StoreUpset};
+pub use partition::{Boot, DualStore, Slot};
 pub use protocol::{FrameClass, LinkConfig, TransferReport};
 pub use soak::{run_soak, SoakCampaign, SoakConfig, SoakOutcome};
 pub use store::{EccStore, PAGE_BYTES};
+pub use update::{Device, RejectReason, UpdateReport, UpdateStatus};

@@ -14,6 +14,7 @@
 use crate::channel::{ChannelStats, Delivery, NoisyChannel};
 use crate::frame::Frame;
 use crate::store::{EccStore, PAGE_BYTES};
+use flexicore::sim::PowerCut;
 
 /// Retry policy of the transfer protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,16 @@ impl TransferReport {
     }
 }
 
+/// The backoff spent before retransmission number `attempts`
+/// (1-based): `base`, `2*base`, `4*base`, … saturating at `u64::MAX`
+/// instead of overflowing — at the retry ceiling with a large base the
+/// shift alone used to wrap in debug builds.
+#[must_use]
+pub fn backoff_after(base: u64, attempts: u32) -> u64 {
+    let shift = attempts.saturating_sub(1).min(63);
+    base.saturating_mul(1u64 << shift)
+}
+
 /// Transfer one page of `golden` into the store, retrying until it
 /// read-back-verifies or the retry budget runs out. `seq` is the
 /// frame sequence counter, advanced once per transmission attempt.
@@ -108,6 +119,33 @@ pub fn program_page(
     config: LinkConfig,
     seq: &mut u8,
     backoff_cycles: &mut u64,
+) -> FrameLog {
+    program_page_with(
+        golden,
+        page,
+        store,
+        channel,
+        config,
+        seq,
+        backoff_cycles,
+        &mut PowerCut::never(),
+    )
+}
+
+/// [`program_page`] with a [`PowerCut`] on the store's write path: a
+/// supply collapse mid-page tears one code word and loses the rest, so
+/// read-back verification fails and the retry budget drains against a
+/// dead store.
+#[allow(clippy::too_many_arguments)]
+pub fn program_page_with(
+    golden: &[u8],
+    page: usize,
+    store: &mut EccStore,
+    channel: &mut NoisyChannel,
+    config: LinkConfig,
+    seq: &mut u8,
+    backoff_cycles: &mut u64,
+    power: &mut PowerCut,
 ) -> FrameLog {
     let lo = page * PAGE_BYTES;
     let hi = ((page + 1) * PAGE_BYTES).min(golden.len());
@@ -126,7 +164,7 @@ pub fn program_page(
             Delivery::Delivered(bytes) => match Frame::decode(&bytes) {
                 // a stale or misrouted frame must not program this page
                 Ok(received) if received.page == page as u8 && received.seq == frame.seq => {
-                    store.write_page(page, &received.payload);
+                    store.write_page_with(page, &received.payload, power);
                     // read-back-verify against the golden copy
                     store.read_page(page) == payload
                 }
@@ -151,8 +189,8 @@ pub fn program_page(
                 class: FrameClass::Failed,
             };
         }
-        // exponential backoff: base, 2*base, 4*base, ...
-        *backoff_cycles += config.backoff_base << (attempts - 1).min(32);
+        *backoff_cycles =
+            backoff_cycles.saturating_add(backoff_after(config.backoff_base, attempts));
     }
 }
 
@@ -163,12 +201,24 @@ pub fn program_store(
     channel: &mut NoisyChannel,
     config: LinkConfig,
 ) -> TransferReport {
+    program_store_with(golden, store, channel, config, &mut PowerCut::never())
+}
+
+/// [`program_store`] with a [`PowerCut`] threaded through every store
+/// write.
+pub fn program_store_with(
+    golden: &[u8],
+    store: &mut EccStore,
+    channel: &mut NoisyChannel,
+    config: LinkConfig,
+    power: &mut PowerCut,
+) -> TransferReport {
     let mut seq = 0u8;
     let mut backoff_cycles = 0u64;
     let pages = golden.len().div_ceil(PAGE_BYTES);
     let frames = (0..pages)
         .map(|page| {
-            program_page(
+            program_page_with(
                 golden,
                 page,
                 store,
@@ -176,6 +226,7 @@ pub fn program_store(
                 config,
                 &mut seq,
                 &mut backoff_cycles,
+                power,
             )
         })
         .collect();
@@ -254,6 +305,62 @@ mod tests {
             report.frames[0].attempts,
             LinkConfig::default().max_retries + 1
         );
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_retry_ceiling() {
+        // the growth schedule is preserved below saturation…
+        assert_eq!(backoff_after(16, 1), 16);
+        assert_eq!(backoff_after(16, 2), 32);
+        assert_eq!(backoff_after(16, 9), 16 << 8);
+        // …and pins at u64::MAX instead of wrapping at the top
+        assert_eq!(backoff_after(u64::MAX, 1), u64::MAX);
+        assert_eq!(backoff_after(u64::MAX, 40), u64::MAX);
+        assert_eq!(backoff_after(2, 64), u64::MAX);
+        assert_eq!(backoff_after(2, 4000), u64::MAX);
+        assert_eq!(backoff_after(0, 4000), 0);
+
+        // a full failed transfer at a pathological base must not panic:
+        // this pins behavior at the retry ceiling (the old shift-based
+        // accumulator overflowed here in debug builds)
+        let image = golden(PAGE_BYTES);
+        let mut store = EccStore::erased(PAGE_BYTES);
+        let cfg = ChannelConfig {
+            drop_rate: 1.0,
+            ..ChannelConfig::clean()
+        };
+        let mut channel = NoisyChannel::new(cfg, 3);
+        let config = LinkConfig {
+            max_retries: 100,
+            backoff_base: u64::MAX / 2,
+        };
+        let report = program_store(&image, &mut store, &mut channel, config);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.backoff_cycles, u64::MAX, "saturated, not wrapped");
+    }
+
+    #[test]
+    fn power_cut_mid_transfer_fails_verification() {
+        use flexicore::sim::PowerCut;
+        let image = golden(3 * PAGE_BYTES);
+        let mut store = EccStore::erased(3 * PAGE_BYTES);
+        let mut channel = NoisyChannel::new(ChannelConfig::clean(), 8);
+        // supply collapses inside the second page's write burst
+        let mut power = PowerCut::at_write(PAGE_BYTES as u64 + 40, 99);
+        let report = program_store_with(
+            &image,
+            &mut store,
+            &mut channel,
+            LinkConfig::default(),
+            &mut power,
+        );
+        assert!(power.has_fired());
+        assert_eq!(report.frames[0].class, FrameClass::Clean);
+        assert_eq!(report.frames[1].class, FrameClass::Failed, "{report:?}");
+        assert_eq!(report.frames[2].class, FrameClass::Failed);
+        assert!(!report.complete());
+        // the first page survived intact; the die is not silently wrong
+        assert_eq!(store.read_page(0), &image[..PAGE_BYTES]);
     }
 
     #[test]

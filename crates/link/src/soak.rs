@@ -135,7 +135,7 @@ pub fn classify(run: &LinkRun, expected: &[u8]) -> SoakOutcome {
     if !run.programmed || run.gave_up || !run.halted || run.outputs != expected {
         return SoakOutcome::Unrecoverable;
     }
-    if run.rollbacks == 0 && run.reprogrammed_pages == 0 {
+    if run.rollbacks == 0 && run.image_rollbacks == 0 && run.reprogrammed_pages == 0 {
         SoakOutcome::Masked
     } else {
         SoakOutcome::Recovered

@@ -10,6 +10,7 @@
 
 use crate::ecc::{self, Decoded};
 use flexicore::program::Program;
+use flexicore::sim::PowerCut;
 
 /// Bytes per store page: one §5.1 page of a byte-addressed dialect and
 /// one transfer frame's payload.
@@ -88,6 +89,19 @@ impl EccStore {
     /// page's size — the protocol layer frames pages exactly, so a
     /// mismatch is a bug, not a link condition.
     pub fn write_page(&mut self, page: usize, data: &[u8]) {
+        self.write_page_with(page, data, &mut PowerCut::never());
+    }
+
+    /// [`EccStore::write_page`] with a [`PowerCut`] in the write path:
+    /// every code word passes through `power`, which may tear one write
+    /// (a seeded mix of old and new bits lands in the store) and lose
+    /// every write after it. Returns `true` iff every word committed
+    /// cleanly.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`EccStore::write_page`].
+    pub fn write_page_with(&mut self, page: usize, data: &[u8], power: &mut PowerCut) -> bool {
         let range = self.page_range(page);
         assert!(
             !range.is_empty() && range.len() == data.len(),
@@ -95,9 +109,34 @@ impl EccStore {
             data.len(),
             range.len(),
         );
+        let mut clean = true;
         for (word, &byte) in self.words[range].iter_mut().zip(data) {
-            *word = ecc::encode(byte);
+            clean &= committed(word, ecc::encode(byte), power);
         }
+        clean
+    }
+
+    /// Write one program byte's code word through a [`PowerCut`].
+    /// Returns `true` iff the write committed cleanly (not torn, not
+    /// lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn write_word_with(&mut self, word: usize, byte: u8, power: &mut PowerCut) -> bool {
+        committed(&mut self.words[word], ecc::encode(byte), power)
+    }
+
+    /// Decode one stored word — the partition layer reads its control
+    /// words through this, so a torn word is seen as what it is rather
+    /// than best-effort data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    #[must_use]
+    pub fn read_word(&self, word: usize) -> Decoded {
+        ecc::decode(self.words[word])
     }
 
     /// Decode one page's data bytes (best effort on uncorrectable
@@ -175,6 +214,16 @@ impl EccStore {
     }
 }
 
+/// Route one word write through the power model; a torn mix still
+/// lands in the store, a lost write leaves the old word.
+fn committed(word: &mut u16, new: u16, power: &mut PowerCut) -> bool {
+    let effect = power.on_write(*word, new);
+    if let Some(stored) = effect.stored() {
+        *word = stored;
+    }
+    matches!(effect, flexicore::sim::WriteEffect::Committed(_))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +278,49 @@ mod tests {
         store.write_page(1, &image[PAGE_BYTES..2 * PAGE_BYTES]);
         assert!(store.scrub().bad_pages.is_empty());
         assert_eq!(store.materialize().program.as_bytes(), &image[..]);
+    }
+
+    #[test]
+    fn power_cut_tears_one_word_and_loses_the_rest() {
+        let image = vec![0x5Au8; PAGE_BYTES];
+        let mut store = EccStore::erased(PAGE_BYTES);
+        let mut power = PowerCut::at_write(10, 77);
+        assert!(!store.write_page_with(0, &image, &mut power));
+        assert!(power.has_fired());
+        // the first ten words committed; everything at or past the cut
+        // either tore or was lost entirely
+        let bytes = store.read_page(0);
+        assert_eq!(&bytes[..10], &image[..10]);
+        assert_eq!(
+            &bytes[11..],
+            &vec![0u8; PAGE_BYTES - 11][..],
+            "writes after the cut are lost (erased store decodes zero)"
+        );
+        // a later write attempt on dead power changes nothing
+        let before = store.clone();
+        assert!(!store.write_word_with(0, 0xFF, &mut power));
+        assert_eq!(store, before);
+    }
+
+    #[test]
+    fn unarmed_power_writes_commit_cleanly() {
+        let image = vec![0xC3u8; 64];
+        let mut store = EccStore::erased(64);
+        assert!(store.write_page_with(0, &image, &mut PowerCut::never()));
+        assert_eq!(store.read_page(0), image);
+        assert!(store.write_word_with(3, 0x11, &mut PowerCut::never()));
+        assert_eq!(store.read_page(0)[3], 0x11);
+    }
+
+    #[test]
+    fn read_word_reports_decode_state() {
+        let mut store = EccStore::erased(4);
+        store.write_page(0, &[1, 2, 3, 4]);
+        assert_eq!(store.read_word(1), Decoded::Clean(2));
+        store.flip_bit(1, 0);
+        assert!(matches!(store.read_word(1), Decoded::Corrected(2)));
+        store.flip_bit(1, 7);
+        assert!(matches!(store.read_word(1), Decoded::Uncorrectable(_)));
     }
 
     #[test]

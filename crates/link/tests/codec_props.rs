@@ -6,6 +6,8 @@
 //! patterns so a regression in either layer cannot hide behind a lucky
 //! constant.
 
+use flexicore::isa::Dialect;
+use flexlink::auth::Metadata;
 use flexlink::ecc::{self, Decoded};
 use flexlink::frame::{Frame, FrameError, MAX_PAYLOAD};
 use proptest::collection::vec;
@@ -79,5 +81,37 @@ proptest! {
                 | FrameError::LengthMismatch { .. }
                 | FrameError::BadCrc { .. })
         ));
+    }
+
+    /// Metadata-page parsing never panics on arbitrary bytes — a torn
+    /// or attacker-chosen staging slot always decodes to a clean error,
+    /// not a crash in the update path.
+    #[test]
+    fn metadata_parse_never_panics_on_arbitrary_bytes(
+        bytes in vec(any::<u8>(), 0..=2 * flexlink::PAGE_BYTES),
+    ) {
+        let _ = Metadata::parse(&bytes);
+    }
+
+    /// A signed metadata page round-trips through parse+verify, and any
+    /// single-bit flip inside the authenticated region is rejected.
+    #[test]
+    fn signed_metadata_roundtrips_and_rejects_flips(
+        version in any::<u64>(),
+        image in vec(any::<u8>(), 1..200usize),
+        flip in any::<u32>(),
+    ) {
+        let key = b"codec-prop-key";
+        let metadata = Metadata::for_image(Dialect::Fc4, &image, version);
+        let page = metadata.encode(key);
+        prop_assert_eq!(Metadata::verify(&page, key).unwrap(), metadata);
+        prop_assert!(metadata.matches_image(&image));
+
+        // the MAC covers bytes 0..52 and lives in 52..84: flipping any
+        // bit there must fail authentication
+        let mut torn = page;
+        let bit = flip as usize % (84 * 8);
+        torn[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(Metadata::verify(&torn, key).is_err());
     }
 }
