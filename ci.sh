@@ -27,6 +27,19 @@ echo "== attacker soak smoke =="
 # forgery or bricked die, failing the build
 ./target/release/flexi attack --trials 1000 --seed 1
 
+echo "== sharded campaign smoke =="
+# determinism gate for the --threads/--shards knobs: a threaded, sharded
+# campaign must print the exact bytes the serial run prints
+./target/release/flexi inject --faults 64 --seed 11 > /tmp/flexi_serial.txt
+./target/release/flexi inject --faults 64 --seed 11 --threads 8 --shards 16 \
+    > /tmp/flexi_sharded.txt
+cmp /tmp/flexi_serial.txt /tmp/flexi_sharded.txt
+./target/release/flexi link --rates 0,5e-4 --seed 11 > /tmp/flexi_serial.txt
+./target/release/flexi link --rates 0,5e-4 --seed 11 --threads 8 --shards 8 \
+    > /tmp/flexi_sharded.txt
+cmp /tmp/flexi_serial.txt /tmp/flexi_sharded.txt
+rm -f /tmp/flexi_serial.txt /tmp/flexi_sharded.txt
+
 echo "== flexcheck gate =="
 # static analysis over the kernel suite (all dialects must lint clean at
 # error severity) plus a seeded differential soundness smoke campaign:
@@ -40,8 +53,12 @@ done
 echo "== cargo test =="
 cargo test --offline --workspace -q
 
-echo "== cargo test --release =="
-cargo test --release --offline --workspace -q
+echo "== cargo test --release (forced thread pools) =="
+# FLEXSHARD_FORCE_THREADS overrides every campaign's requested worker
+# count, so the whole suite — including the single-threaded golden-value
+# tests — runs once with real thread pools engaged; the determinism
+# contract says nothing may change
+FLEXSHARD_FORCE_THREADS=3 cargo test --release --offline --workspace -q
 
 echo "== cargo doc =="
 # -p per first-party crate: the vendored stubs are workspace members and
@@ -49,7 +66,7 @@ echo "== cargo doc =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p flexicore -p flexasm -p flexgate -p flexrtl -p flexfab \
     -p flexkernels -p flexinject -p flexresilient -p flexlink -p flexdse \
-    -p flexcheck -p flexcli -p flexbench
+    -p flexcheck -p flexshard -p flexcli -p flexbench
 
 echo "== cargo clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

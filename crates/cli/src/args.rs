@@ -129,6 +129,20 @@ impl Args {
         }
     }
 
+    /// A parsed numeric flag that must be at least 1 (`--threads`,
+    /// `--shards`), with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when the value does not parse or is zero.
+    pub fn positive(&mut self, name: &str, default: usize) -> Result<usize, CliError> {
+        let v: usize = self.num(name, default)?;
+        if v == 0 {
+            return Err(CliError::Usage(format!("--{name} must be at least 1")));
+        }
+        Ok(v)
+    }
+
     /// Comma-separated u8 list (`--input 1,2,3`).
     ///
     /// # Errors
@@ -295,6 +309,19 @@ mod tests {
 
         let mut a = parse(&["--features", "warp-drive"]);
         assert!(a.target().is_err());
+    }
+
+    #[test]
+    fn positive_rejects_zero() {
+        let mut a = parse(&["--threads", "0"]);
+        let err = a.positive("threads", 1).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
+
+        let mut b = parse(&["--threads", "8"]);
+        assert_eq!(b.positive("threads", 1).unwrap(), 8);
+        let mut c = parse(&[]);
+        assert_eq!(c.positive("shards", 4).unwrap(), 4);
     }
 
     #[test]

@@ -42,23 +42,25 @@ commands:
   kernel  <name> --input 1,2,.. [--target T] [--features F,..]
   wave    <file.s> [--target fc4|fc8] [--input N] [--cycles N] [--out trace.vcd]
   wafer   [--design fc4|fc8|fc4plus] [--voltage V] [--seed N] [--cycles N]
-          [--map errors|current|csv]
+          [--map errors|current|csv] [--threads N]
   inject  [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N] [--seed N]
-          [--budget N] [--mode stuck|transient|mixed]
+          [--budget N] [--mode stuck|transient|mixed] [--threads N] [--shards N]
   resilient [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N] [--seed N]
           [--budget N] [--mode stuck|transient|mixed]
           [--quorum tmr|dmr|simplex] [--window N] [--interval N]
-          [--retries N] [--spares N]
+          [--retries N] [--spares N] [--threads N] [--shards N]
   link    [--dialect fc4|fc8|xacc|xls] [--kernel K] [--rates R1,R2,..]
           [--ber R1,R2,..] [--seed N] [--upsets N] [--interval N] [--scrub N]
-          [--retries N] [--budget N] [--signed]
+          [--retries N] [--budget N] [--signed] [--threads N] [--shards N]
   attack  [--dialect fc4|fc8|xacc|xls] [--rates R1,R2,..] [--reps N]
-          [--trials N] [--seed N] [--retries N]
+          [--trials N] [--seed N] [--retries N] [--threads N] [--shards N]
   dse
   help
 
 targets: fc4 (default), fc8, xacc, xls
 features (xacc/xls): adc, shift, flags, mul, xch, call, 2xreg — or `revised`
+campaign scaling: --threads N workers, --shards N work units; any combination
+replays the single-threaded report bit-for-bit
 "
     .to_string()
 }
@@ -394,10 +396,11 @@ pub fn wafer(args: &mut Args) -> Result<String, CliError> {
     let seed = args.num("seed", flexfab::calibration::seeds::YIELD)?;
     let cycles = args.num("cycles", 10_000u64)?;
     let map = args.flag("map").unwrap_or_else(|| "errors".to_string());
+    let threads = args.positive("threads", 1)?;
 
     let exp = WaferExperiment::new(design, seed);
     let run = exp
-        .run(voltage, cycles)
+        .run_with(voltage, cycles, threads)
         .map_err(|e| CliError::Run(e.to_string()))?;
     let mut out = format!(
         "{} wafer, seed {seed:#x}, {} dies, tested at {voltage} V with {} vectors/die\n",
@@ -467,6 +470,8 @@ pub fn inject(args: &mut Args) -> Result<String, CliError> {
     let mut config = CampaignConfig::new(target, kernel, trials, seed);
     config.budget = budget;
     config.model = model;
+    config.threads = args.positive("threads", 1)?;
+    config.shards = args.positive("shards", 1)?;
     let result = flexinject::run_campaign(config).map_err(|e| CliError::Run(e.to_string()))?;
     Ok(flexinject::report::render_campaign(&result))
 }
@@ -528,6 +533,8 @@ pub fn resilient(args: &mut Args) -> Result<String, CliError> {
     config.interval = args.num("interval", config.interval)?;
     config.max_retries = args.num("retries", config.max_retries)?;
     config.spares = args.num("spares", config.spares)?;
+    config.threads = args.positive("threads", 1)?;
+    config.shards = args.positive("shards", 1)?;
 
     let campaign =
         flexresilient::run_recovery_campaign(config).map_err(|e| CliError::Run(e.to_string()))?;
@@ -583,6 +590,8 @@ pub fn link(args: &mut Args) -> Result<String, CliError> {
     config.exec.scrub_interval = args.num("scrub", config.exec.scrub_interval)?;
     config.exec.budget = args.num("budget", config.exec.budget)?;
     config.link.max_retries = args.num("retries", config.link.max_retries)?;
+    config.threads = args.positive("threads", 1)?;
+    config.shards = args.positive("shards", 1)?;
 
     if signed {
         return link_signed(&config);
@@ -694,6 +703,8 @@ pub fn attack(args: &mut Args) -> Result<String, CliError> {
     }
     config.link.max_retries = args.num("retries", config.link.max_retries)?;
     config.reps = args.num("reps", config.reps)?;
+    config.threads = args.positive("threads", 1)?;
+    config.shards = args.positive("shards", 1)?;
     // `--trials N` asks for at least N trials: scale the repetitions
     let trials = args.num("trials", 0usize)?;
     if trials > 0 {
@@ -939,6 +950,55 @@ mod tests {
         assert!(a.contains("seed 41"), "{a}");
         assert!(a.contains("masked"), "{a}");
         assert!(a.contains("most vulnerable"), "{a}");
+    }
+
+    #[test]
+    fn inject_threads_and_shards_replay_the_serial_report() {
+        let base = &[
+            "inject",
+            "--dialect",
+            "fc4",
+            "--kernel",
+            "parity",
+            "--faults",
+            "16",
+            "--seed",
+            "41",
+        ];
+        let serial = call(base).unwrap();
+        let mut threaded = base.to_vec();
+        threaded.extend(["--threads", "8", "--shards", "16"]);
+        assert_eq!(serial, call(&threaded).unwrap());
+    }
+
+    #[test]
+    fn zero_threads_or_shards_is_a_usage_error_with_exit_code_2() {
+        for (cmd, flag) in [
+            ("inject", "--threads"),
+            ("inject", "--shards"),
+            ("resilient", "--threads"),
+            ("resilient", "--shards"),
+            ("link", "--threads"),
+            ("link", "--shards"),
+            ("attack", "--threads"),
+            ("attack", "--shards"),
+            ("wafer", "--threads"),
+        ] {
+            let err = call(&[cmd, flag, "0"]).unwrap_err();
+            assert!(
+                matches!(err, crate::CliError::Usage(_)),
+                "`{cmd} {flag} 0` must be a usage error, got {err}"
+            );
+            assert_eq!(err.exit_code(), 2, "{cmd} {flag}");
+            assert!(err.to_string().contains("at least 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn wafer_threads_replay_the_serial_map() {
+        let serial = call(&["wafer", "--cycles", "300"]).unwrap();
+        let threaded = call(&["wafer", "--cycles", "300", "--threads", "4"]).unwrap();
+        assert_eq!(serial, threaded);
     }
 
     #[test]

@@ -17,23 +17,30 @@
 //! flexi kernels [--target T] [--features F,..]
 //! flexi kernel  <name> --input 1,2,.. [--target T]
 //! flexi wafer   [--design fc4|fc8|fc4plus] [--voltage V] [--seed N]
-//!               [--cycles N] [--map errors|current|csv]
+//!               [--cycles N] [--map errors|current|csv] [--threads N]
 //! flexi inject  [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N]
 //!               [--seed N] [--budget N] [--mode stuck|transient|mixed]
+//!               [--threads N] [--shards N]
 //! flexi resilient [--dialect fc4|fc8|xacc|xls] [--kernel K] [--faults N]
 //!               [--seed N] [--budget N] [--mode stuck|transient|mixed]
 //!               [--quorum tmr|dmr|simplex] [--window N] [--interval N]
-//!               [--retries N] [--spares N]
+//!               [--retries N] [--spares N] [--threads N] [--shards N]
 //! flexi link    [--dialect fc4|fc8|xacc|xls] [--kernel K] [--rates R1,R2,..]
 //!               [--ber R1,R2,..] [--seed N] [--upsets N] [--interval N]
 //!               [--scrub N] [--retries N] [--budget N] [--signed]
+//!               [--threads N] [--shards N]
 //! flexi attack  [--dialect fc4|fc8|xacc|xls] [--rates R1,R2,..] [--reps N]
-//!               [--trials N] [--seed N] [--retries N]
+//!               [--trials N] [--seed N] [--retries N] [--threads N] [--shards N]
 //! flexi dse
 //! ```
 //!
 //! Targets: `fc4` (default), `fc8`, `xacc`, `xls`; `--features` applies to
 //! the DSE dialects (`adc,shift,flags,mul,xch,call,2xreg` or `revised`).
+//!
+//! The campaign commands (`wafer`, `inject`, `resilient`, `link`, `attack`)
+//! accept `--threads N` worker threads and, where trials shard, `--shards N`
+//! work units; every combination replays the single-threaded report
+//! bit-for-bit (the seed, not the schedule, owns every draw).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

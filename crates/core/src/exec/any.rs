@@ -66,6 +66,20 @@ impl AnyCore {
         }
     }
 
+    /// The decode feature set ([`FeatureSet::BASE`] on the fabricated
+    /// dialects, whose decoders are feature-blind). Together with
+    /// [`dialect`](AnyCore::dialect) and [`program`](AnyCore::program)
+    /// this determines decode behaviour completely — the grouping key
+    /// packed execution shares a decode cache under.
+    #[must_use]
+    pub fn features(&self) -> FeatureSet {
+        match self {
+            AnyCore::Fc4(_) | AnyCore::Fc8(_) => FeatureSet::BASE,
+            AnyCore::Xacc(c) => c.features(),
+            AnyCore::Xls(c) => c.features(),
+        }
+    }
+
     /// Execute one instruction.
     ///
     /// # Errors
@@ -122,6 +136,26 @@ impl AnyCore {
         faults: &mut F,
     ) -> Result<RunResult, SimError> {
         each_core!(self, c => c.run_with(input, output, budget, faults))
+    }
+
+    /// [`run_with`](AnyCore::run_with) minus the power-on state-fault
+    /// visit: drive an already-powered-on core until the halt idiom or
+    /// until `budget` expires, in the dialect's own tight run loop. One
+    /// dialect dispatch covers the whole drain, so batched drivers
+    /// retire a lane at serial-run speed instead of paying three
+    /// dispatches per instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`](super::Engine::run).
+    pub fn resume_with<I: InputPort, O: OutputPort, F: FaultHook>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        budget: u64,
+        faults: &mut F,
+    ) -> Result<RunResult, SimError> {
+        each_core!(self, c => super::Engine::with_faults(&mut *c, faults).resume(input, output, budget))
     }
 
     /// Reset architectural state, keeping program (and features).

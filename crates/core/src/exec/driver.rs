@@ -72,6 +72,11 @@ pub struct Lane<I, O, F = NoFaults> {
 #[derive(Debug)]
 pub struct MultiCoreDriver<I, O, F = NoFaults> {
     lanes: Vec<Lane<I, O, F>>,
+    /// Indices of lanes still [`Running`](LaneStatus::Running), in
+    /// admission order. Retired lanes drop out here so `step_all` never
+    /// rescans them — on long batches where a few lanes outlive the
+    /// rest, the sweep cost tracks live lanes, not admitted lanes.
+    active: Vec<usize>,
     budget: u64,
 }
 
@@ -83,6 +88,7 @@ impl<I: InputPort, O: OutputPort, F: FaultHook> MultiCoreDriver<I, O, F> {
     pub fn new(budget: u64) -> Self {
         MultiCoreDriver {
             lanes: Vec::new(),
+            active: Vec::new(),
             budget,
         }
     }
@@ -108,7 +114,7 @@ impl<I: InputPort, O: OutputPort, F: FaultHook> MultiCoreDriver<I, O, F> {
     /// Number of lanes still running.
     #[must_use]
     pub fn running(&self) -> usize {
-        self.lanes.iter().filter(|l| l.status.is_running()).count()
+        self.active.len()
     }
 
     /// Admit one die with the driver's default fuel budget. Power-on
@@ -131,6 +137,7 @@ impl<I: InputPort, O: OutputPort, F: FaultHook> MultiCoreDriver<I, O, F> {
             status: LaneStatus::Running,
         };
         lane.core.power_on_faults(&mut lane.faults);
+        self.active.push(self.lanes.len());
         self.lanes.push(lane);
     }
 
@@ -141,32 +148,57 @@ impl<I: InputPort, O: OutputPort, F: FaultHook> MultiCoreDriver<I, O, F> {
     /// reaches zero, no lane is [`Running`](LaneStatus::Running).
     pub fn step_all(&mut self) -> usize {
         let mut stepped = 0;
-        for lane in &mut self.lanes {
-            if !lane.status.is_running() {
-                continue;
-            }
+        let lanes = &mut self.lanes;
+        self.active.retain(|&idx| {
+            let lane = &mut lanes[idx];
             if lane.core.is_halted() {
                 lane.status = LaneStatus::Done(lane.core.run_result());
-                continue;
+                return false;
             }
             if lane.core.budget_spent() >= lane.fuel {
                 lane.status = LaneStatus::Hung(lane.core.run_result());
-                continue;
+                return false;
             }
             match lane
                 .core
                 .step_with(&mut lane.input, &mut lane.output, &mut lane.faults)
             {
-                Ok(_) => stepped += 1,
-                Err(e) => lane.status = LaneStatus::Faulted(e),
+                Ok(_) => {
+                    stepped += 1;
+                    true
+                }
+                Err(e) => {
+                    lane.status = LaneStatus::Faulted(e);
+                    false
+                }
             }
-        }
+        });
         stepped
     }
 
-    /// Sweep until every lane is retired.
+    /// Retire every lane. Lanes are fully independent, so completion
+    /// order is unobservable: instead of sweeping one instruction at a
+    /// time (three dialect dispatches per instruction, and a cache-cold
+    /// visit to every lane's state each sweep), each lane is drained to
+    /// completion through [`AnyCore::resume_with`] — the dialect's own
+    /// tight run loop, one dispatch per lane. Results are bit-for-bit
+    /// identical to the [`step_all`](MultiCoreDriver::step_all) sweep
+    /// and to serial `run_with` calls.
     pub fn run_to_completion(&mut self) {
-        while self.step_all() > 0 {}
+        let lanes = &mut self.lanes;
+        for idx in self.active.drain(..) {
+            let lane = &mut lanes[idx];
+            lane.status = match lane.core.resume_with(
+                &mut lane.input,
+                &mut lane.output,
+                lane.fuel,
+                &mut lane.faults,
+            ) {
+                Ok(r) if r.halted() => LaneStatus::Done(r),
+                Ok(r) => LaneStatus::Hung(r),
+                Err(e) => LaneStatus::Faulted(e),
+            };
+        }
     }
 
     /// The lanes, in admission order.

@@ -33,9 +33,11 @@ use crate::trace::StepEvent;
 
 mod any;
 mod driver;
+mod packed;
 
 pub use any::AnyCore;
 pub use driver::{Lane, LaneStatus, MultiCoreDriver};
+pub use packed::{run_packed_lanes, PackedDriver, PackedLane};
 
 /// In-page program-counter mask shared by every dialect (the PC is 7
 /// bits on all FlexiCores).
@@ -578,6 +580,28 @@ impl<C: Core, F: FaultHook> Engine<C, F> {
         O: OutputPort,
     {
         self.apply_power_on_faults();
+        self.resume(input, output, budget)
+    }
+
+    /// The run loop without the power-on state-fault visit: drive an
+    /// already-powered-on core until the halt idiom or until `budget`
+    /// expires. This is the drain primitive the batched drivers use —
+    /// they apply power-on faults when a lane is admitted, so resuming
+    /// must not apply them a second time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Engine::step`].
+    pub fn resume<I, O>(
+        &mut self,
+        input: &mut I,
+        output: &mut O,
+        budget: u64,
+    ) -> Result<RunResult, SimError>
+    where
+        I: InputPort,
+        O: OutputPort,
+    {
         while !self.core.state().halted && C::budget_spent(self.core.state()) < budget {
             self.step(input, output)?;
         }

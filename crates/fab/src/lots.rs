@@ -56,6 +56,27 @@ impl Lot {
         voltage: f64,
         vector_cycles: u64,
     ) -> Result<Self, crate::FabError> {
+        Self::fabricate_with(design, wafers, seed, voltage, vector_cycles, 1)
+    }
+
+    /// [`fabricate`](Lot::fabricate) across up to `threads` worker
+    /// threads, one wafer per work unit. The wafer-to-wafer defectivity
+    /// scales are drawn serially up front (preserving the exact RNG
+    /// stream of the serial path) and each wafer's own draws run off its
+    /// private `wafer_seed`, so the lot is bit-for-bit identical for
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fabricate`](Lot::fabricate).
+    pub fn fabricate_with(
+        design: CoreDesign,
+        wafers: usize,
+        seed: u64,
+        voltage: f64,
+        vector_cycles: u64,
+        threads: usize,
+    ) -> Result<Self, crate::FabError> {
         let netlist = design.netlist();
         let layout = WaferLayout::new();
         let area = Report::of(&netlist).total.area_mm2();
@@ -63,27 +84,39 @@ impl Lot {
         let tester = Tester::new(&netlist, TestPlan::quick(vector_cycles))?;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x107);
 
-        let mut runs = Vec::with_capacity(wafers);
-        for w in 0..wafers {
-            // wafer-to-wafer defectivity enters as an effective area scale
-            // (λ = density × area, so the two are interchangeable)
-            let z: f64 = rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64);
-            let scale = (z * WAFER_TO_WAFER_SIGMA).exp();
+        // serial draw phase: wafer-to-wafer defectivity enters as an
+        // effective area scale (λ = density × area, so the two are
+        // interchangeable); drawing all scales up front keeps the RNG
+        // stream identical to the serial path
+        let scales: Vec<f64> = (0..wafers)
+            .map(|_| {
+                let z: f64 = rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64);
+                (z * WAFER_TO_WAFER_SIGMA).exp()
+            })
+            .collect();
+        let runs = flexshard::map_indexed(wafers, threads, |w| {
             let wafer_seed = seed.wrapping_add(w as u64).wrapping_mul(0x9E37_79B9);
-            let variations = draw_wafer(design.recipe(), wafer_seed, layout.sites(), area * scale);
+            let variations = draw_wafer(
+                design.recipe(),
+                wafer_seed,
+                layout.sites(),
+                area * scales[w],
+            );
             let outcomes = tester.test_wafer(&variations, voltage)?;
             let currents = variations
                 .iter()
                 .map(|v| crate::current::die_current_ma(nominal_ma, v, voltage))
                 .collect();
-            runs.push(WaferRun {
+            Ok(WaferRun {
                 sites: layout.sites().to_vec(),
                 variations,
                 outcomes,
                 currents_ma: currents,
                 voltage,
-            });
-        }
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<WaferRun>, crate::FabError>>()?;
         Ok(Lot { design, runs })
     }
 
@@ -181,6 +214,18 @@ mod tests {
             .stats()
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_lot_is_bit_identical_to_serial() {
+        let serial = Lot::fabricate(CoreDesign::FlexiCore4, 4, 21, 4.5, 300).unwrap();
+        let threaded = Lot::fabricate_with(CoreDesign::FlexiCore4, 4, 21, 4.5, 300, 8).unwrap();
+        for (a, b) in serial.runs().iter().zip(threaded.runs()) {
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.currents_ma, b.currents_ma);
+            assert_eq!(a.variations, b.variations);
+        }
+        assert_eq!(serial.stats().unwrap(), threaded.stats().unwrap());
     }
 
     #[test]

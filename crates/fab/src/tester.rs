@@ -144,10 +144,30 @@ impl<'a> Tester<'a> {
         dies: &[DieVariation],
         voltage: f64,
     ) -> Result<Vec<DieOutcome>, FabError> {
+        self.test_wafer_with(dies, voltage, 1)
+    }
+
+    /// [`test_wafer`](Tester::test_wafer) across up to `threads` worker
+    /// threads. The work unit is one 63-die chunk — each chunk owns its
+    /// simulator and stimulus RNG, and chunk results merge in die order,
+    /// so the outcome vector is bit-for-bit identical for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`test_wafer`](Tester::test_wafer).
+    pub fn test_wafer_with(
+        &self,
+        dies: &[DieVariation],
+        voltage: f64,
+        threads: usize,
+    ) -> Result<Vec<DieOutcome>, FabError> {
+        let chunks: Vec<&[DieVariation]> = dies.chunks(63).collect();
+        let per_chunk =
+            flexshard::map_indexed(chunks.len(), threads, |i| self.test_chunk(chunks[i]));
         let mut outcomes = Vec::with_capacity(dies.len());
-        for chunk in dies.chunks(63) {
-            let defect_errors = self.test_chunk(chunk)?;
-            for (die, defects) in chunk.iter().zip(defect_errors) {
+        for (chunk, defect_errors) in chunks.iter().zip(per_chunk) {
+            for (die, defects) in chunk.iter().zip(defect_errors?) {
                 let timing_errors = self.timing_errors(die, voltage);
                 outcomes.push(DieOutcome {
                     defect_errors: defects,
@@ -179,14 +199,11 @@ impl<'a> Tester<'a> {
             sim.set_input_value("instr", instr, !0);
             sim.set_input_value("iport", iport, !0);
             sim.clock();
-            // compare every observable output lane against lane 0
+            // compare every observable output lane against golden lane 0
             let mut diff_lanes = 0u64;
             for port in ["pc", "oport"] {
-                for bits in sim.output_lanes(port) {
-                    // lanes differing from lane 0 on this bit
-                    let ref_bit = bits & 1;
-                    let broadcast = if ref_bit == 1 { !0u64 } else { 0u64 };
-                    diff_lanes |= bits ^ broadcast;
+                for slice in sim.output_slices(port) {
+                    diff_lanes |= slice.lanes_differing_from(0);
                 }
             }
             if diff_lanes != 0 {
@@ -249,9 +266,8 @@ pub fn fault_coverage(netlist: &Netlist, plan: TestPlan) -> Result<f64, FabError
             sim.clock();
             let mut diff = 0u64;
             for port in ["pc", "oport"] {
-                for bits in sim.output_lanes(port) {
-                    let broadcast = if bits & 1 == 1 { !0u64 } else { 0u64 };
-                    diff |= bits ^ broadcast;
+                for slice in sim.output_slices(port) {
+                    diff |= slice.lanes_differing_from(0);
                 }
             }
             if diff != 0 {
@@ -347,6 +363,23 @@ mod tests {
         let out = tester.test_wafer(&dies, 4.5).unwrap();
         assert_eq!(out.len(), 130);
         assert!(out.iter().all(DieOutcome::functional));
+    }
+
+    #[test]
+    fn threaded_screen_is_bit_identical_to_serial() {
+        let netlist = flexrtl::build_fc4();
+        let tester = Tester::new(&netlist, TestPlan::quick(400)).unwrap();
+        // five chunks' worth of defective dies so threads matter
+        let dies: Vec<DieVariation> = (0..300)
+            .map(|i| DieVariation {
+                defect_count: u32::from(i % 3 == 0),
+                defect_seed: 7 + i,
+                ..clean_die()
+            })
+            .collect();
+        let serial = tester.test_wafer(&dies, 4.5).unwrap();
+        let threaded = tester.test_wafer_with(&dies, 4.5, 8).unwrap();
+        assert_eq!(serial, threaded);
     }
 
     #[test]

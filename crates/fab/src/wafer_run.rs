@@ -207,8 +207,24 @@ impl WaferExperiment {
     /// [`FabError::Netlist`](crate::FabError) if the design netlist
     /// fails integrity validation.
     pub fn run(&self, voltage: f64, vector_cycles: u64) -> Result<WaferRun, crate::FabError> {
+        self.run_with(voltage, vector_cycles, 1)
+    }
+
+    /// [`run`](WaferExperiment::run) with the wafer screen spread across
+    /// up to `threads` worker threads (one 63-die tester chunk per work
+    /// unit; results are identical for every thread count).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](WaferExperiment::run).
+    pub fn run_with(
+        &self,
+        voltage: f64,
+        vector_cycles: u64,
+        threads: usize,
+    ) -> Result<WaferRun, crate::FabError> {
         let tester = Tester::new(&self.netlist, TestPlan::quick(vector_cycles))?;
-        let outcomes = tester.test_wafer(&self.variations, voltage)?;
+        let outcomes = tester.test_wafer_with(&self.variations, voltage, threads)?;
         let nominal = Report::of(&self.netlist).total.static_current_ma(4.5);
         let currents = self
             .variations

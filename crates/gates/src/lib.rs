@@ -43,8 +43,10 @@ pub mod fault;
 pub mod netlist;
 pub mod report;
 pub mod sim;
+pub mod slice;
 pub mod timing;
 pub mod vcd;
 
 pub use cell::CellKind;
 pub use netlist::{Net, Netlist};
+pub use slice::BitSlice64;

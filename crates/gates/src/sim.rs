@@ -1,12 +1,16 @@
 //! Levelized netlist simulation with 64 parallel lanes.
 //!
-//! Every net carries a `u64`, one bit per *lane*. All lanes see the same
-//! stimulus; they differ only in injected stuck-at faults — the classic
-//! parallel-pattern single-fault-propagation trick, which is what makes
-//! testing every die of a simulated wafer against 100 000-cycle vector
-//! sets tractable (§4.1): 64 faulty die variants run in one pass.
+//! Every net carries one [`BitSlice64`] — one bit per *lane*. All lanes
+//! see the same stimulus; they differ only in injected stuck-at faults —
+//! the classic parallel-pattern single-fault-propagation trick, which is
+//! what makes testing every die of a simulated wafer against
+//! 100 000-cycle vector sets tractable (§4.1): 64 faulty die variants
+//! run in one pass. The slice algebra (lane drive, stuck-at masking,
+//! golden-lane comparison) lives in [`crate::slice`]; this module owns
+//! the levelized evaluation loop and the sequential-element state.
 
 use crate::netlist::{Net, Netlist, NetlistError};
+use crate::slice::BitSlice64;
 
 /// Per-net stuck-at masks (bit set ⇒ that lane holds the fault).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -19,8 +23,8 @@ pub struct FaultMask {
 
 impl FaultMask {
     #[inline]
-    fn apply(self, v: u64) -> u64 {
-        (v & !self.sa0) | self.sa1
+    fn apply(self, v: BitSlice64) -> BitSlice64 {
+        v.stuck(self.sa0, self.sa1)
     }
 
     /// Whether any lane carries a fault.
@@ -36,7 +40,7 @@ pub struct BatchSim<'a> {
     netlist: &'a Netlist,
     order: Vec<usize>,
     seq: Vec<usize>,
-    values: Vec<u64>,
+    values: Vec<BitSlice64>,
     faults: Vec<FaultMask>,
     faulty_nets: Vec<usize>,
     faulty: bool,
@@ -61,7 +65,7 @@ impl<'a> BatchSim<'a> {
             netlist,
             order,
             seq,
-            values: vec![0; netlist.net_count()],
+            values: vec![BitSlice64::ZERO; netlist.net_count()],
             faults: vec![FaultMask::default(); netlist.net_count()],
             faulty_nets: Vec::new(),
             faulty: false,
@@ -71,7 +75,7 @@ impl<'a> BatchSim<'a> {
     /// Reset all nets and flip-flops to 0 (power-on state).
     pub fn reset(&mut self) {
         for v in &mut self.values {
-            *v = 0;
+            *v = BitSlice64::ZERO;
         }
         if self.faulty {
             for (net, mask) in self.faults.iter().enumerate() {
@@ -119,15 +123,14 @@ impl<'a> BatchSim<'a> {
         for (bit, net) in nets.iter().enumerate() {
             let set = (value >> bit) & 1 == 1;
             let idx = net.index();
-            let v = self.values[idx];
-            self.values[idx] = if set { v | lanes } else { v & !lanes };
+            self.values[idx] = self.values[idx].drive(set, lanes);
         }
     }
 
     /// Evaluate the combinational fabric (inputs and flop outputs held).
     pub fn settle(&mut self) {
         if let Some(c0) = self.netlist.const0_net() {
-            self.values[c0.index()] = self.faults[c0.index()].apply(0);
+            self.values[c0.index()] = self.faults[c0.index()].apply(BitSlice64::ZERO);
         }
         if self.faulty {
             // pin faults on undriven nets (ports, flop outputs); driven
@@ -136,13 +139,13 @@ impl<'a> BatchSim<'a> {
                 self.values[net] = self.faults[net].apply(self.values[net]);
             }
         }
-        let mut ins: [u64; 3] = [0; 3];
+        let mut ins: [BitSlice64; 3] = [BitSlice64::ZERO; 3];
         for &ci in &self.order {
             let cell = &self.netlist.cells()[ci];
             for (k, inp) in cell.inputs.iter().enumerate() {
                 ins[k] = self.values[inp.index()];
             }
-            let raw = cell.kind.eval(&ins[..cell.inputs.len()]);
+            let raw = cell.kind.eval_slices(&ins[..cell.inputs.len()]);
             let out = cell.output.index();
             self.values[out] = if self.faulty {
                 self.faults[out].apply(raw)
@@ -157,7 +160,7 @@ impl<'a> BatchSim<'a> {
         self.settle();
         // capture all D values before updating any Q (two-phase, like real
         // edge-triggered flops)
-        let captured: Vec<u64> = self
+        let captured: Vec<BitSlice64> = self
             .seq
             .iter()
             .map(|&ci| self.values[self.netlist.cells()[ci].inputs[0].index()])
@@ -175,6 +178,12 @@ impl<'a> BatchSim<'a> {
     /// Read a single net's lane vector.
     #[must_use]
     pub fn net_value(&self, net: Net) -> u64 {
+        self.values[net.index()].0
+    }
+
+    /// Read a single net's packed slice.
+    #[must_use]
+    pub fn net_slice(&self, net: Net) -> BitSlice64 {
         self.values[net.index()]
     }
 
@@ -185,17 +194,7 @@ impl<'a> BatchSim<'a> {
     /// Panics if the port does not exist or `lane >= 64`.
     #[must_use]
     pub fn output_value(&self, name: &str, lane: u32) -> u64 {
-        assert!(lane < 64);
-        let nets = self
-            .netlist
-            .output_ports()
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown output port `{name}`"));
-        let mut v = 0u64;
-        for (bit, net) in nets.iter().enumerate() {
-            v |= ((self.values[net.index()] >> lane) & 1) << bit;
-        }
-        v
+        BitSlice64::gather(&self.output_slices(name), lane)
     }
 
     /// Read an output bus as 64 lane values at once (bit `b` of lane `l`
@@ -206,6 +205,17 @@ impl<'a> BatchSim<'a> {
     /// Panics if the port does not exist.
     #[must_use]
     pub fn output_lanes(&self, name: &str) -> Vec<u64> {
+        self.output_slices(name).into_iter().map(|s| s.0).collect()
+    }
+
+    /// Read an output bus as packed slices, little-endian by bus bit
+    /// (`result[b]` carries bit `b` of every lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    #[must_use]
+    pub fn output_slices(&self, name: &str) -> Vec<BitSlice64> {
         let nets = self
             .netlist
             .output_ports()
@@ -325,5 +335,29 @@ mod tests {
         sim.settle();
         assert_eq!(sim.output_value("one", 0), 1);
         assert_eq!(sim.output_value("one", 63), 1);
+    }
+
+    #[test]
+    fn slice_accessors_agree_with_lane_reads() {
+        let n = adder4();
+        let mut sim = BatchSim::new(&n).unwrap();
+        let a0 = n.input_ports()["a"][0];
+        sim.inject(a0, true, 1 << 7);
+        sim.set_input_value("a", 0, !0);
+        sim.set_input_value("b", 2, !0);
+        sim.settle();
+        let slices = sim.output_slices("sum");
+        for lane in [0u32, 7, 63] {
+            assert_eq!(
+                BitSlice64::gather(&slices, lane),
+                sim.output_value("sum", lane)
+            );
+        }
+        assert_eq!(sim.net_slice(a0).0, sim.net_value(a0));
+        // the divergence mask folds over every output bit
+        let diverged = slices
+            .iter()
+            .fold(0u64, |acc, s| acc | s.lanes_differing_from(0));
+        assert_eq!(diverged, 1 << 7);
     }
 }

@@ -105,10 +105,17 @@ pub struct CampaignConfig {
     pub budget: u64,
     /// Fault population.
     pub model: FaultModel,
+    /// How many contiguous shards the trial list is split into for
+    /// execution. The shard count never changes the report — shards only
+    /// decide which trials share a worker — so it is free to tune.
+    pub shards: usize,
+    /// Worker threads executing shards (`1` = run inline, serially).
+    pub threads: usize,
 }
 
 impl CampaignConfig {
-    /// A campaign with the default watchdog and stuck-at model.
+    /// A campaign with the default watchdog and stuck-at model, run
+    /// serially (one shard, one thread).
     #[must_use]
     pub fn new(target: Target, kernel: Kernel, trials: usize, seed: u64) -> Self {
         CampaignConfig {
@@ -118,6 +125,8 @@ impl CampaignConfig {
             seed,
             budget: CYCLE_BUDGET,
             model: FaultModel::StuckAt,
+            shards: 1,
+            threads: 1,
         }
     }
 }
@@ -160,7 +169,11 @@ pub fn run_campaign(config: CampaignConfig) -> Result<CampaignResult, RunError> 
 
     // Pre-draw every (fault, input) pair in trial order — the RNG and
     // sampler streams interleave exactly as the old serial loop did —
-    // then run the whole campaign as one batch on the multi-core driver.
+    // then execute the pre-drawn trials sharded across worker threads.
+    // Each shard runs its contiguous range of trials as one packed batch
+    // and the results merge back in shard (= trial) order, so neither
+    // the thread count nor the shard count can change a single bit of
+    // the report.
     let mut faults = Vec::with_capacity(config.trials);
     let mut batch = Vec::with_capacity(config.trials);
     for _ in 0..config.trials {
@@ -171,9 +184,12 @@ pub fn run_campaign(config: CampaignConfig) -> Result<CampaignResult, RunError> 
             faults: FaultPlane::with_faults(vec![fault]),
         });
     }
+    let runs = flexshard::map_sharded(batch.len(), config.shards, config.threads, |_, range| {
+        prepared.run_batch(batch[range].to_vec(), config.budget)
+    });
     let trials = faults
         .into_iter()
-        .zip(prepared.run_batch(batch, config.budget))
+        .zip(runs)
         .map(|(fault, run)| Trial {
             fault,
             outcome: classify(run),
@@ -242,6 +258,29 @@ mod tests {
         let b = run_campaign(cfg).unwrap();
         assert_eq!(a.trials, b.trials);
         assert_eq!(a.clean_cycles, b.clean_cycles);
+    }
+
+    #[test]
+    fn thread_and_shard_counts_never_change_the_report() {
+        let base = CampaignConfig {
+            budget: 20_000,
+            model: FaultModel::Mixed,
+            ..CampaignConfig::new(Target::fc8(), Kernel::ParityCheck, 48, 13)
+        };
+        let serial = run_campaign(base).unwrap();
+        for (shards, threads) in [(1, 8), (64, 1), (64, 8), (48, 3)] {
+            let parallel = run_campaign(CampaignConfig {
+                shards,
+                threads,
+                ..base
+            })
+            .unwrap();
+            assert_eq!(
+                serial.trials, parallel.trials,
+                "{shards} shards / {threads} threads"
+            );
+            assert_eq!(serial.clean_cycles, parallel.clean_cycles);
+        }
     }
 
     #[test]

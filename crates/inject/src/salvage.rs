@@ -56,6 +56,10 @@ pub struct SalvageConfig {
     pub budget: u64,
     /// Seed for the screen's input sampling.
     pub seed: u64,
+    /// Worker threads classifying dies (`1` = serial). Every die's
+    /// classification is a pure function of its outcome and variation,
+    /// so the thread count never changes the analysis.
+    pub threads: usize,
 }
 
 impl Default for SalvageConfig {
@@ -64,6 +68,7 @@ impl Default for SalvageConfig {
             cases_per_kernel: 2,
             budget: CYCLE_BUDGET,
             seed: 0xD1E5,
+            threads: 1,
         }
     }
 }
@@ -180,12 +185,12 @@ pub fn analyze(
         kernel.run_with(&inputs, config.budget, &mut NoFaults)?;
     }
 
-    let classes = run
-        .outcomes
-        .iter()
-        .zip(&run.variations)
-        .map(|(outcome, variation)| classify_die(outcome, variation, &prepared, config))
-        .collect();
+    // One work unit per die: classification is a pure function of the
+    // die's outcome and variation, so dies screen in parallel and merge
+    // back in wafer-site order bit-for-bit identical to a serial pass.
+    let classes = flexshard::map_indexed(run.outcomes.len(), config.threads, |i| {
+        classify_die(&run.outcomes[i], &run.variations[i], &prepared, config)
+    });
     Ok(SalvageAnalysis {
         classes,
         in_inclusion: run.sites.iter().map(|s| s.in_inclusion_zone()).collect(),
@@ -220,6 +225,7 @@ mod tests {
             cases_per_kernel: 1,
             budget: 30_000,
             seed: 5,
+            threads: 1,
         }
     }
 
@@ -271,6 +277,24 @@ mod tests {
         // reproducibility: classification is a pure function of its inputs
         let again = analyze(&run, CoreDesign::FlexiCore4, &quick_config()).unwrap();
         assert_eq!(analysis.classes, again.classes);
+    }
+
+    #[test]
+    fn threaded_salvage_is_bit_identical_to_serial() {
+        let exp = WaferExperiment::published(CoreDesign::FlexiCore4);
+        let run = exp.run(4.5, 300).unwrap();
+        let serial = analyze(&run, CoreDesign::FlexiCore4, &quick_config()).unwrap();
+        let threaded = analyze(
+            &run,
+            CoreDesign::FlexiCore4,
+            &SalvageConfig {
+                threads: 8,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.classes, threaded.classes);
+        assert_eq!(serial.in_inclusion, threaded.in_inclusion);
     }
 
     #[test]

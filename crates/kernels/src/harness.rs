@@ -2,7 +2,7 @@
 
 use crate::{oracle, sources, Kernel};
 use flexasm::{AsmError, Target};
-use flexicore::exec::{AnyCore, LaneStatus, MultiCoreDriver};
+use flexicore::exec::{run_packed_lanes, AnyCore, LaneStatus};
 use flexicore::io::{InputPort, OutputPort, RecordingOutput, ScriptedInput};
 use flexicore::program::Program;
 use flexicore::sim::{FaultHook, NoFaults, RunResult};
@@ -165,11 +165,14 @@ impl PreparedKernel {
         self.verify(inputs, output.values(), result)
     }
 
-    /// Run one case per [`BatchCase`] through the
-    /// [`MultiCoreDriver`], stepping all cases round-robin instead of
-    /// serially, and oracle-verify each lane. Results are in case order
-    /// and bit-for-bit identical to serial [`run_with`](Self::run_with)
-    /// calls with the same inputs and fault hooks.
+    /// Run one case per [`BatchCase`] through the packed 64-lane tier
+    /// ([`run_packed_lanes`]): all lanes share this kernel's program
+    /// image, so each batch of 64 shares one decode cache, with lanes
+    /// whose fault hook corrupts the fetch bus falling back to private
+    /// decode. Results are in case order and bit-for-bit identical to
+    /// serial [`run_with`](Self::run_with) calls with the same inputs
+    /// and fault hooks (a guarantee the scalar engine's lockstep tests
+    /// enforce).
     #[must_use]
     pub fn run_batch<F: FaultHook>(
         &self,
@@ -177,27 +180,27 @@ impl PreparedKernel {
         budget: u64,
     ) -> Vec<Result<KernelRun, RunError>> {
         let mut inputs = Vec::with_capacity(cases.len());
-        let mut driver = MultiCoreDriver::new(budget);
-        for case in cases {
-            driver.push(
-                self.core(),
-                ScriptedInput::new(case.inputs.clone()),
-                RecordingOutput::new(),
-                case.faults,
-            );
-            inputs.push(case.inputs);
-        }
-        driver.run_to_completion();
-        driver
-            .into_lanes()
+        let lanes = cases
+            .into_iter()
+            .map(|case| {
+                inputs.push(case.inputs.clone());
+                (
+                    self.core(),
+                    ScriptedInput::new(case.inputs),
+                    RecordingOutput::new(),
+                    case.faults,
+                )
+            })
+            .collect();
+        run_packed_lanes(lanes, budget)
             .into_iter()
             .zip(inputs)
-            .map(|(lane, inputs)| match lane.status {
+            .map(|((status, output), inputs)| match status {
                 LaneStatus::Done(result) | LaneStatus::Hung(result) => {
-                    self.verify(&inputs, lane.output.values(), result)
+                    self.verify(&inputs, output.values(), result)
                 }
                 LaneStatus::Faulted(e) => Err(RunError::Sim(e)),
-                LaneStatus::Running => unreachable!("run_to_completion retires every lane"),
+                LaneStatus::Running => unreachable!("run_packed_lanes retires every lane"),
             })
             .collect()
     }

@@ -167,10 +167,16 @@ pub struct AttackSoakConfig {
     pub link: LinkConfig,
     /// `flexcheck` admission severity gating activation, if any.
     pub admission: Option<flexcheck::Severity>,
+    /// Contiguous shards the trial list is split into for execution.
+    /// Never changes the report — every trial's stream derives from its
+    /// own sweep coordinates.
+    pub shards: usize,
+    /// Worker threads executing shards (`1` = run inline, serially).
+    pub threads: usize,
 }
 
 impl AttackSoakConfig {
-    /// A full-mix campaign over all four dialects.
+    /// A full-mix campaign over all four dialects, run serially.
     #[must_use]
     pub fn new(error_rates: Vec<f64>, reps: usize, seed: u64) -> Self {
         AttackSoakConfig {
@@ -186,6 +192,8 @@ impl AttackSoakConfig {
             seed,
             link: LinkConfig::default(),
             admission: Some(flexcheck::Severity::Error),
+            shards: 1,
+            threads: 1,
         }
     }
 
@@ -267,7 +275,14 @@ impl AttackCampaign {
 /// [`RunError::Asm`] if a kernel fails to assemble for a configured
 /// target.
 pub fn run_attack_soak(config: AttackSoakConfig) -> Result<AttackCampaign, RunError> {
-    let mut trials = Vec::with_capacity(config.trial_count());
+    // Assemble each (target, kernel) image once, serially, so assembly
+    // errors surface before any trial runs.
+    let mut groups: Vec<(Target, Kernel, Vec<u8>)> = Vec::new();
+    // Every trial's stream derives from its own sweep coordinates, so
+    // trials are independent work units: the plan is laid out serially
+    // in sweep order, then executed sharded and merged back bit-for-bit
+    // identical to a serial pass.
+    let mut plan: Vec<(usize, f64, Attack, usize, u64)> = Vec::with_capacity(config.trial_count());
     for (d, &target) in config.targets.iter().enumerate() {
         for (k, &kernel) in Kernel::ALL
             .iter()
@@ -275,7 +290,8 @@ pub fn run_attack_soak(config: AttackSoakConfig) -> Result<AttackCampaign, RunEr
             .enumerate()
         {
             let prepared = PreparedKernel::new(kernel, target)?;
-            let image = prepared.program().as_bytes().to_vec();
+            groups.push((target, kernel, prepared.program().as_bytes().to_vec()));
+            let group = groups.len() - 1;
             for (r, &ber) in config.error_rates.iter().enumerate() {
                 for (a, &attack) in config.mix.attacks.iter().enumerate() {
                     for rep in 0..config.reps {
@@ -289,14 +305,21 @@ pub fn run_attack_soak(config: AttackSoakConfig) -> Result<AttackCampaign, RunEr
                             .seed
                             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                             .wrapping_add(cell);
-                        trials.push(run_trial(
-                            &config, target, kernel, &image, ber, attack, rep, trial_seed,
-                        ));
+                        plan.push((group, ber, attack, rep, trial_seed));
                     }
                 }
             }
         }
     }
+    let trials = flexshard::map_sharded(plan.len(), config.shards, config.threads, |_, range| {
+        plan[range]
+            .iter()
+            .map(|&(group, ber, attack, rep, trial_seed)| {
+                let (target, kernel, ref image) = groups[group];
+                run_trial(&config, target, kernel, image, ber, attack, rep, trial_seed)
+            })
+            .collect()
+    });
     Ok(AttackCampaign { config, trials })
 }
 
@@ -512,5 +535,23 @@ mod tests {
         let a = run_attack_soak(cfg.clone()).unwrap();
         let b = run_attack_soak(cfg).unwrap();
         assert_eq!(a.trials, b.trials);
+    }
+
+    #[test]
+    fn thread_and_shard_counts_never_change_the_report() {
+        let base = small_config(AttackMix::full(), 2);
+        let serial = run_attack_soak(base.clone()).unwrap();
+        for (shards, threads) in [(1, 8), (64, 1), (64, 8)] {
+            let parallel = run_attack_soak(AttackSoakConfig {
+                shards,
+                threads,
+                ..base.clone()
+            })
+            .unwrap();
+            assert_eq!(
+                serial.trials, parallel.trials,
+                "{shards} shards / {threads} threads"
+            );
+        }
     }
 }

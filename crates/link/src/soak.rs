@@ -47,11 +47,17 @@ pub struct SoakConfig {
     pub exec: LinkExecConfig,
     /// Retry policy of the transfer protocol.
     pub link: LinkConfig,
+    /// Contiguous shards the (kernel, rate) cell list is split into for
+    /// execution. Never changes the report — each cell's stream derives
+    /// from its own `(kernel, rate)` coordinates.
+    pub shards: usize,
+    /// Worker threads executing shards (`1` = run inline, serially).
+    pub threads: usize,
 }
 
 impl SoakConfig {
     /// A campaign over every kernel `target` supports, with default
-    /// executor and protocol policies.
+    /// executor and protocol policies, run serially.
     #[must_use]
     pub fn new(target: Target, error_rates: Vec<f64>, seed: u64) -> Self {
         SoakConfig {
@@ -65,6 +71,8 @@ impl SoakConfig {
             seed,
             exec: LinkExecConfig::default(),
             link: LinkConfig::default(),
+            shards: 1,
+            threads: 1,
         }
     }
 }
@@ -150,48 +158,82 @@ pub fn classify(run: &LinkRun, expected: &[u8]) -> SoakOutcome {
 /// [`RunError::Asm`] if a configured kernel does not assemble for the
 /// target.
 pub fn run_soak(config: SoakConfig) -> Result<SoakCampaign, RunError> {
-    let mut trials = Vec::with_capacity(config.kernels.len() * config.error_rates.len());
-    for (k, &kernel) in config.kernels.iter().enumerate() {
-        let prepared = PreparedKernel::new(kernel, config.target)?;
-        let executor = LinkedExecutor::new(
-            config.target,
-            prepared.program().clone(),
-            config.link,
-            config.exec,
-        );
-        for (r, &ber) in config.error_rates.iter().enumerate() {
-            // one private, reproducible stream per (kernel, rate) cell
-            let trial_seed = config
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((k as u64) << 32 | r as u64);
-            let mut rng = StdRng::seed_from_u64(trial_seed);
-            let inputs = Sampler::new(kernel, trial_seed ^ 0xA5A5).draw();
-            let upsets: Vec<StoreUpset> = (0..config.upsets_per_trial)
-                .map(|_| StoreUpset {
-                    // early segments so short kernels still see them
-                    segment: rng.gen_range(1..4usize),
-                    word: rng.gen_range(0..executor.golden().len()),
-                    bit: rng.gen_range(0..ecc::CODE_BITS as u8),
-                })
-                .collect();
-            let run = executor.run(
-                &inputs,
-                ChannelConfig::with_bit_error_rate(ber),
-                trial_seed ^ 0x5A5A,
-                &upsets,
-                FaultPlane::new(),
-            );
-            let expected = oracle::expected_outputs(kernel, config.target.dialect, &inputs);
-            trials.push(SoakTrial {
+    // Assemble each kernel once, serially, so errors surface before any
+    // trial runs; the executors are then shared read-only by the pool.
+    let executors: Vec<(Kernel, LinkedExecutor)> = config
+        .kernels
+        .iter()
+        .map(|&kernel| {
+            let prepared = PreparedKernel::new(kernel, config.target)?;
+            Ok((
                 kernel,
-                bit_error_rate: ber,
-                outcome: classify(&run, &expected),
-                run,
-            });
+                LinkedExecutor::new(
+                    config.target,
+                    prepared.program().clone(),
+                    config.link,
+                    config.exec,
+                ),
+            ))
+        })
+        .collect::<Result<_, RunError>>()?;
+
+    // Every (kernel, rate) cell derives a private RNG stream from its
+    // own coordinates, so cells are independent work units: sharded
+    // execution merges back in sweep order (kernels outer, rates inner)
+    // bit-for-bit identical to a serial pass.
+    let mut cells = Vec::with_capacity(executors.len() * config.error_rates.len());
+    for k in 0..executors.len() {
+        for r in 0..config.error_rates.len() {
+            cells.push((k, r));
         }
     }
+    let trials = flexshard::map_sharded(cells.len(), config.shards, config.threads, |_, range| {
+        cells[range]
+            .iter()
+            .map(|&(k, r)| run_cell(&config, &executors[k].1, executors[k].0, k, r))
+            .collect()
+    });
     Ok(SoakCampaign { config, trials })
+}
+
+/// Run one (kernel, error-rate) cell of the sweep.
+fn run_cell(
+    config: &SoakConfig,
+    executor: &LinkedExecutor,
+    kernel: Kernel,
+    k: usize,
+    r: usize,
+) -> SoakTrial {
+    let ber = config.error_rates[r];
+    // one private, reproducible stream per (kernel, rate) cell
+    let trial_seed = config
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((k as u64) << 32 | r as u64);
+    let mut rng = StdRng::seed_from_u64(trial_seed);
+    let inputs = Sampler::new(kernel, trial_seed ^ 0xA5A5).draw();
+    let upsets: Vec<StoreUpset> = (0..config.upsets_per_trial)
+        .map(|_| StoreUpset {
+            // early segments so short kernels still see them
+            segment: rng.gen_range(1..4usize),
+            word: rng.gen_range(0..executor.golden().len()),
+            bit: rng.gen_range(0..ecc::CODE_BITS as u8),
+        })
+        .collect();
+    let run = executor.run(
+        &inputs,
+        ChannelConfig::with_bit_error_rate(ber),
+        trial_seed ^ 0x5A5A,
+        &upsets,
+        FaultPlane::new(),
+    );
+    let expected = oracle::expected_outputs(kernel, config.target.dialect, &inputs);
+    SoakTrial {
+        kernel,
+        bit_error_rate: ber,
+        outcome: classify(&run, &expected),
+        run,
+    }
 }
 
 #[cfg(test)]
@@ -220,5 +262,26 @@ mod tests {
         let a = run_soak(cfg.clone()).unwrap();
         let b = run_soak(cfg).unwrap();
         assert_eq!(a.trials, b.trials);
+    }
+
+    #[test]
+    fn thread_and_shard_counts_never_change_the_report() {
+        let base = SoakConfig {
+            kernels: vec![Kernel::ParityCheck, Kernel::XorShift8, Kernel::IntAvg],
+            ..SoakConfig::new(Target::fc4(), vec![0.0, 1e-4, 2e-4], 29)
+        };
+        let serial = run_soak(base.clone()).unwrap();
+        for (shards, threads) in [(1, 8), (64, 1), (64, 8)] {
+            let parallel = run_soak(SoakConfig {
+                shards,
+                threads,
+                ..base.clone()
+            })
+            .unwrap();
+            assert_eq!(
+                serial.trials, parallel.trials,
+                "{shards} shards / {threads} threads"
+            );
+        }
     }
 }

@@ -99,10 +99,16 @@ pub struct RecoveryCampaignConfig {
     /// Spare (fault-free) dies available for lane reassignment
     /// (DMR / simplex).
     pub spares: usize,
+    /// Contiguous shards the trial list is split into for execution.
+    /// Never changes the report — shards only decide worker sharing.
+    pub shards: usize,
+    /// Worker threads executing shards (`1` = run inline, serially).
+    pub threads: usize,
 }
 
 impl RecoveryCampaignConfig {
-    /// A TMR stuck-at campaign with default cadence parameters.
+    /// A TMR stuck-at campaign with default cadence parameters, run
+    /// serially (one shard, one thread).
     #[must_use]
     pub fn new(target: Target, kernel: Kernel, trials: usize, seed: u64) -> Self {
         RecoveryCampaignConfig {
@@ -117,6 +123,8 @@ impl RecoveryCampaignConfig {
             interval: 64,
             max_retries: 8,
             spares: 2,
+            shards: 1,
+            threads: 1,
         }
     }
 }
@@ -170,69 +178,98 @@ pub fn run_recovery_campaign(config: RecoveryCampaignConfig) -> Result<RecoveryC
     let clean = prepared.run_with(&sampler.draw(), config.budget, &mut NoFaults)?;
     let clean_cycles = clean.result.cycles.max(1);
 
+    // Serial pre-draw: faults, lane choices, inputs and oracle outputs
+    // all come off the single seeded stream in trial order, exactly as
+    // the old serial loop interleaved them. The executors themselves use
+    // no RNG, so each pre-drawn trial is a pure function of its plan and
+    // the sharded execution below merges back bit-for-bit identical to
+    // a serial pass, whatever the thread or shard count.
     let lanes = config.mode.lanes();
-    let mut trials = Vec::with_capacity(config.trials);
-    for _ in 0..config.trials {
-        let fault = draw_fault(&mut rng, &site_list, config.model, clean_cycles);
-        let lane = if lanes > 1 {
-            rng.gen_range(0..lanes)
-        } else {
-            0
-        };
-        let inputs = sampler.draw();
-        let expected = oracle::expected_outputs(config.kernel, config.target.dialect, &inputs);
-
-        let mut planes = vec![FaultPlane::new(); lanes];
-        planes[lane] = FaultPlane::with_faults(vec![fault]);
-        let spares = vec![FaultPlane::new(); config.spares];
-
-        let (outputs, completed, retries) = match config.mode {
-            QuorumMode::Tmr => {
-                let executor = NmrExecutor::new(
-                    prepared.core(),
-                    NmrConfig {
-                        lanes,
-                        window: config.window,
-                        budget: config.budget,
-                    },
-                );
-                let run = executor.run(&inputs, planes);
-                (run.outputs, run.verdict != VoteVerdict::QuorumLost, 0)
-            }
-            QuorumMode::DmrReexec => {
-                let executor = recovery_executor(&prepared, &config);
-                let [a, b] = <[FaultPlane; 2]>::try_from(planes).expect("two DMR planes");
-                let run = executor.run_dmr(&inputs, [a, b], spares);
-                (run.outputs, run.halted && !run.gave_up, run.retries)
-            }
-            QuorumMode::Simplex => {
-                let executor = recovery_executor(&prepared, &config);
-                let plane = planes.pop().expect("one simplex plane");
-                let run = executor.run_simplex(&inputs, plane, spares);
-                (run.outputs, run.halted && !run.gave_up, run.retries)
-            }
-        };
-        let outcome = if completed && outputs == expected {
-            if retries == 0 {
-                ResilientOutcome::Masked
+    let plans: Vec<(ArchFault, usize, Vec<u8>, Vec<u8>)> = (0..config.trials)
+        .map(|_| {
+            let fault = draw_fault(&mut rng, &site_list, config.model, clean_cycles);
+            let lane = if lanes > 1 {
+                rng.gen_range(0..lanes)
             } else {
-                ResilientOutcome::Recovered
-            }
-        } else {
-            ResilientOutcome::Unrecoverable
-        };
-        trials.push(ResilientTrial {
-            fault,
-            lane,
-            retries,
-            outcome,
-        });
-    }
+                0
+            };
+            let inputs = sampler.draw();
+            let expected = oracle::expected_outputs(config.kernel, config.target.dialect, &inputs);
+            (fault, lane, inputs, expected)
+        })
+        .collect();
+
+    let trials = flexshard::map_sharded(plans.len(), config.shards, config.threads, |_, range| {
+        plans[range]
+            .iter()
+            .map(|(fault, lane, inputs, expected)| {
+                run_trial(&prepared, &config, lanes, *fault, *lane, inputs, expected)
+            })
+            .collect()
+    });
     Ok(RecoveryCampaign {
         config,
         trials,
         clean_cycles,
     })
+}
+
+/// Execute one pre-drawn trial through the configured rung of the
+/// degradation ladder and classify it. RNG-free by construction.
+fn run_trial(
+    prepared: &PreparedKernel,
+    config: &RecoveryCampaignConfig,
+    lanes: usize,
+    fault: ArchFault,
+    lane: usize,
+    inputs: &[u8],
+    expected: &[u8],
+) -> ResilientTrial {
+    let mut planes = vec![FaultPlane::new(); lanes];
+    planes[lane] = FaultPlane::with_faults(vec![fault]);
+    let spares = vec![FaultPlane::new(); config.spares];
+
+    let (outputs, completed, retries) = match config.mode {
+        QuorumMode::Tmr => {
+            let executor = NmrExecutor::new(
+                prepared.core(),
+                NmrConfig {
+                    lanes,
+                    window: config.window,
+                    budget: config.budget,
+                },
+            );
+            let run = executor.run(inputs, planes);
+            (run.outputs, run.verdict != VoteVerdict::QuorumLost, 0)
+        }
+        QuorumMode::DmrReexec => {
+            let executor = recovery_executor(prepared, config);
+            let [a, b] = <[FaultPlane; 2]>::try_from(planes).expect("two DMR planes");
+            let run = executor.run_dmr(inputs, [a, b], spares);
+            (run.outputs, run.halted && !run.gave_up, run.retries)
+        }
+        QuorumMode::Simplex => {
+            let executor = recovery_executor(prepared, config);
+            let plane = planes.pop().expect("one simplex plane");
+            let run = executor.run_simplex(inputs, plane, spares);
+            (run.outputs, run.halted && !run.gave_up, run.retries)
+        }
+    };
+    let outcome = if completed && outputs == expected {
+        if retries == 0 {
+            ResilientOutcome::Masked
+        } else {
+            ResilientOutcome::Recovered
+        }
+    } else {
+        ResilientOutcome::Unrecoverable
+    };
+    ResilientTrial {
+        fault,
+        lane,
+        retries,
+        outcome,
+    }
 }
 
 fn recovery_executor(
@@ -301,6 +338,26 @@ mod tests {
             let b = run_recovery_campaign(quick(mode, FaultModel::Mixed, 11)).unwrap();
             assert_eq!(a.trials, b.trials, "{mode}");
             assert_eq!(a.clean_cycles, b.clean_cycles);
+        }
+    }
+
+    #[test]
+    fn thread_and_shard_counts_never_change_the_report() {
+        for mode in [QuorumMode::Tmr, QuorumMode::DmrReexec, QuorumMode::Simplex] {
+            let base = quick(mode, FaultModel::Mixed, 17);
+            let serial = run_recovery_campaign(base).unwrap();
+            for (shards, threads) in [(1, 8), (64, 1), (64, 8)] {
+                let parallel = run_recovery_campaign(RecoveryCampaignConfig {
+                    shards,
+                    threads,
+                    ..base
+                })
+                .unwrap();
+                assert_eq!(
+                    serial.trials, parallel.trials,
+                    "{mode}: {shards} shards / {threads} threads"
+                );
+            }
         }
     }
 }
