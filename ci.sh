@@ -40,6 +40,19 @@ cmp /tmp/flexi_serial.txt /tmp/flexi_sharded.txt
 cmp /tmp/flexi_serial.txt /tmp/flexi_sharded.txt
 rm -f /tmp/flexi_serial.txt /tmp/flexi_sharded.txt
 
+echo "== mission soak smoke =="
+# lifetime soak gate: the closed-loop health manager vs the static
+# always-TMR baseline under the same seeded stress histories; `flexi
+# mission` exits nonzero on any accepted forged re-flash, and the report
+# must replay bit-for-bit whatever the worker topology — including a
+# FLEXSHARD_FORCE_THREADS override fighting the --shards split
+./target/release/flexi mission --trials 24 --ticks 6 --seed 17 \
+    --shards 1 > /tmp/flexi_serial.txt
+FLEXSHARD_FORCE_THREADS=3 ./target/release/flexi mission --trials 24 \
+    --ticks 6 --seed 17 --shards 64 > /tmp/flexi_sharded.txt
+cmp /tmp/flexi_serial.txt /tmp/flexi_sharded.txt
+rm -f /tmp/flexi_serial.txt /tmp/flexi_sharded.txt
+
 echo "== flexcheck gate =="
 # static analysis over the kernel suite (all dialects must lint clean at
 # error severity) plus a seeded differential soundness smoke campaign:
@@ -66,7 +79,7 @@ echo "== cargo doc =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p flexicore -p flexasm -p flexgate -p flexrtl -p flexfab \
     -p flexkernels -p flexinject -p flexresilient -p flexlink -p flexdse \
-    -p flexcheck -p flexshard -p flexcli -p flexbench
+    -p flexcheck -p flexshard -p flexmission -p flexcli -p flexbench
 
 echo "== cargo clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

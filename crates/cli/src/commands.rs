@@ -54,6 +54,9 @@ commands:
           [--retries N] [--budget N] [--signed] [--threads N] [--shards N]
   attack  [--dialect fc4|fc8|xacc|xls] [--rates R1,R2,..] [--reps N]
           [--trials N] [--seed N] [--retries N] [--threads N] [--shards N]
+  mission [--dialect fc4|fc8|xacc|xls] [--kernel K] [--trials N] [--ticks N]
+          [--seed N] [--spares N] [--budget N] [--deny info|warning|error]
+          [--threads N] [--shards N]
   dse
   help
 
@@ -729,6 +732,71 @@ pub fn attack(args: &mut Args) -> Result<String, CliError> {
     Ok(rendered)
 }
 
+/// `flexi mission` — lifetime soak: adaptive closed-loop health
+/// management versus the static always-TMR baseline under the same
+/// seeded mission stress histories (wear, bend events, brownouts).
+///
+/// # Errors
+///
+/// Usage errors for unknown dialects/kernels/severities and zero
+/// `--threads`/`--shards`; [`CliError::Run`] if any forged re-flash is
+/// accepted (a security breach, never expected).
+pub fn mission(args: &mut Args) -> Result<String, CliError> {
+    use flexmission::{run_mission_campaign, MissionConfig, MissionTally};
+
+    let dialect = args.flag("dialect").unwrap_or_else(|| "fc4".to_string());
+    let target = flexinject::target_from_name(&dialect).ok_or_else(|| {
+        CliError::Usage(format!("unknown dialect `{dialect}` (fc4, fc8, xacc, xls)"))
+    })?;
+    let kernel = match args.flag("kernel") {
+        None => flexkernels::Kernel::ParityCheck,
+        Some(kernel_name) => {
+            let kernel = flexinject::kernel_from_name(&kernel_name).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown kernel `{kernel_name}`; run `flexi kernels` for the list"
+                ))
+            })?;
+            if !kernel.supports(target.dialect) {
+                return Err(CliError::Usage(format!(
+                    "kernel `{}` does not fit the {} dialect (§3.3 capacity trade-off)",
+                    kernel.name(),
+                    target.dialect,
+                )));
+            }
+            kernel
+        }
+    };
+    let trials = args.num("trials", 64usize)?;
+    let ticks = args.num("ticks", 12u32)?;
+    let seed = args.num("seed", 0x0015_510Au64)?;
+    let mut config = MissionConfig::new(target, kernel, trials, ticks, seed);
+    config.spares = args.num("spares", config.spares)?;
+    config.budget = args.num("budget", config.budget)?;
+    config.threads = args.positive("threads", 1)?;
+    config.shards = args.positive("shards", 1)?;
+    if let Some(name) = args.flag("deny") {
+        config.deny = Some(flexcheck::Severity::parse(&name).ok_or_else(|| {
+            CliError::Usage(format!("unknown severity `{name}` (info, warning, error)"))
+        })?);
+    }
+
+    let adaptive = run_mission_campaign(&config).map_err(|e| CliError::Run(e.to_string()))?;
+    let baseline = run_mission_campaign(&MissionConfig {
+        adaptive: false,
+        ..config
+    })
+    .map_err(|e| CliError::Run(e.to_string()))?;
+    let rendered = flexmission::render_mission_comparison(&adaptive, &baseline);
+    let forged =
+        MissionTally::of(&adaptive).forged_accepted + MissionTally::of(&baseline).forged_accepted;
+    if forged > 0 {
+        return Err(CliError::Run(format!(
+            "mission soak breached: {forged} accepted forgeries\n{rendered}"
+        )));
+    }
+    Ok(rendered)
+}
+
 /// `flexi dse` — print the §6 summary.
 ///
 /// # Errors
@@ -1128,6 +1196,56 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("24 trials"), "{out}");
+    }
+
+    #[test]
+    fn mission_soaks_and_replays_across_threads_and_shards() {
+        let base = &[
+            "mission", "--kernel", "parity", "--trials", "6", "--ticks", "4", "--seed", "41",
+        ];
+        let a = call(base).unwrap();
+        let sharded = call(&[
+            "mission",
+            "--kernel",
+            "parity",
+            "--trials",
+            "6",
+            "--ticks",
+            "4",
+            "--seed",
+            "41",
+            "--threads",
+            "4",
+            "--shards",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(a, sharded, "threads/shards must not change the report");
+        assert!(a.contains("adaptive"), "{a}");
+        assert!(a.contains("static TMR"), "{a}");
+        assert!(a.contains("comparison"), "{a}");
+        assert!(a.contains("forgeries      0 accepted"), "{a}");
+    }
+
+    #[test]
+    fn mission_zero_threads_or_shards_is_a_usage_error_with_exit_code_2() {
+        for flag in ["--threads", "--shards"] {
+            let err = call(&["mission", flag, "0"]).unwrap_err();
+            assert!(
+                matches!(err, crate::CliError::Usage(_)),
+                "`{flag} 0` must be a usage error, got {err}"
+            );
+            assert_eq!(err.exit_code(), 2, "{err}");
+        }
+    }
+
+    #[test]
+    fn mission_rejects_bad_deny_and_unknown_kernels() {
+        let err = call(&["mission", "--deny", "fatal"]).unwrap_err();
+        assert!(matches!(err, crate::CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("fatal"), "{err}");
+        let err = call(&["mission", "--kernel", "warp-drive"]).unwrap_err();
+        assert!(matches!(err, crate::CliError::Usage(_)), "{err}");
     }
 
     #[test]

@@ -31,13 +31,17 @@
 //!               [--threads N] [--shards N]
 //! flexi attack  [--dialect fc4|fc8|xacc|xls] [--rates R1,R2,..] [--reps N]
 //!               [--trials N] [--seed N] [--retries N] [--threads N] [--shards N]
+//! flexi mission [--dialect fc4|fc8|xacc|xls] [--kernel K] [--trials N]
+//!               [--ticks N] [--seed N] [--spares N] [--budget N]
+//!               [--deny info|warning|error] [--threads N] [--shards N]
 //! flexi dse
 //! ```
 //!
 //! Targets: `fc4` (default), `fc8`, `xacc`, `xls`; `--features` applies to
 //! the DSE dialects (`adc,shift,flags,mul,xch,call,2xreg` or `revised`).
 //!
-//! The campaign commands (`wafer`, `inject`, `resilient`, `link`, `attack`)
+//! The campaign commands (`wafer`, `inject`, `resilient`, `link`, `attack`,
+//! `mission`)
 //! accept `--threads N` worker threads and, where trials shard, `--shards N`
 //! work units; every combination replays the single-threaded report
 //! bit-for-bit (the seed, not the schedule, owns every draw).
@@ -76,6 +80,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "resilient" => commands::resilient(&mut args)?,
         "link" => commands::link(&mut args)?,
         "attack" => commands::attack(&mut args)?,
+        "mission" => commands::mission(&mut args)?,
         "dse" => commands::dse(&mut args)?,
         "help" | "--help" | "-h" => commands::usage(),
         other => {

@@ -54,6 +54,22 @@ impl TestPlan {
         }
     }
 
+    /// The in-field re-screen plan: the stimulus budget a deployed die
+    /// can afford to spend on a self-test between mission ticks. Far
+    /// shorter than [`TestPlan::full`] — the health manager is asking
+    /// "did a *new* fault appear on a die that already passed the fab
+    /// screen?", not re-qualifying the wafer — but drawn from the same
+    /// directed-then-random stimulus family, with its own seed so
+    /// in-field vectors don't simply replay the fab's.
+    #[must_use]
+    pub fn self_test() -> TestPlan {
+        TestPlan {
+            directed_cycles: 64,
+            random_cycles: 192,
+            seed: 0xF1E1D,
+        }
+    }
+
     /// Total cycles applied.
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
@@ -299,6 +315,23 @@ mod tests {
             current_factor: 1.0,
             defect_leak_ma: 0.0,
         }
+    }
+
+    #[test]
+    fn self_test_plan_is_a_short_distinct_stimulus() {
+        let plan = TestPlan::self_test();
+        assert_eq!(plan.total_cycles(), 256, "a between-ticks budget");
+        assert!(plan.total_cycles() < TestPlan::full().total_cycles() / 100);
+        assert_ne!(
+            plan.seed,
+            TestPlan::full().seed,
+            "in-field vectors must not replay the fab's"
+        );
+        // the plan still drives the gate-level tester
+        let netlist = flexrtl::build_fc4();
+        let tester = Tester::new(&netlist, plan).unwrap();
+        let out = tester.test_wafer(&[clean_die(); 2], 4.5).unwrap();
+        assert!(out.iter().all(DieOutcome::functional));
     }
 
     #[test]

@@ -38,12 +38,14 @@ pub mod pool;
 pub mod report;
 pub mod salvage;
 pub mod sites;
+pub mod stress;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultModel, Outcome, Trial};
 pub use pool::{PoolDie, SalvagePool};
 pub use report::Tally;
 pub use salvage::{SalvageAnalysis, SalvageConfig};
 pub use sites::power_cut_plans;
+pub use stress::{BrownoutPlan, StressConfig, StressSchedule, TickStress};
 
 use flexasm::Target;
 use flexkernels::Kernel;

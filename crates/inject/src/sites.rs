@@ -93,6 +93,39 @@ pub fn enumerate(dialect: Dialect) -> Vec<FaultSite> {
     sites
 }
 
+/// An order-sensitive FNV-1a digest of a dialect's site enumeration.
+///
+/// Every seeded campaign's fault draws index into [`enumerate`]'s list,
+/// so its *order* — not just its contents — is part of the replay
+/// contract: an insertion anywhere but the end silently reshuffles
+/// every historical seed's draws. This digest pins the order; the
+/// regression test below snapshots it per dialect, so a future append
+/// must consciously update the snapshot while a reshuffle fails loudly.
+#[must_use]
+pub fn enumeration_digest(dialect: Dialect) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut mix = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for site in enumerate(dialect) {
+        let (tag, word) = match site.element {
+            StateElement::Pc => (0u8, 0u8),
+            StateElement::Acc => (1, 0),
+            StateElement::Mem(w) => (2, w),
+            StateElement::FetchBus => (3, 0),
+            StateElement::InputPort => (4, 0),
+            StateElement::OutputPort => (5, 0),
+            StateElement::PageReg => (6, 0),
+            StateElement::PagePending => (7, 0),
+        };
+        mix(tag);
+        mix(word);
+        mix(site.bit);
+    }
+    hash
+}
+
 /// Draw `count` stuck-at faults for one manufactured die from its
 /// defect seed, mirroring how `flexfab` maps defect draws onto gate-level
 /// fault sites: uniform over the architectural site list, polarity by
@@ -233,6 +266,26 @@ mod tests {
         for plan in power_cut_plans(3, 0, 4) {
             assert_eq!(plan.cut_index(), Some(0));
         }
+    }
+
+    #[test]
+    fn enumeration_order_digests_are_seed_stable() {
+        // Snapshots of the (element, bit) enumeration per dialect. A
+        // failure here means the site order changed, which reshuffles
+        // every seeded campaign's historical draws: append new elements
+        // at the end and update the snapshot *only* for dialects whose
+        // list actually grew.
+        assert_eq!(enumeration_digest(Dialect::Fc4), 0x901C_FCAF_9DBE_C1F4);
+        assert_eq!(enumeration_digest(Dialect::Fc8), 0x9A3F_826E_1B23_65D4);
+        assert_eq!(
+            enumeration_digest(Dialect::ExtendedAcc),
+            0x901C_FCAF_9DBE_C1F4,
+            "xacc mirrors fc4's architectural shape"
+        );
+        assert_eq!(
+            enumeration_digest(Dialect::LoadStore),
+            0x4577_A5F6_E562_B640
+        );
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct LinkConfig {
     /// Backoff before the first retransmission, in link cycles; each
     /// further retry doubles it.
     pub backoff_base: u64,
+    /// Seed for deterministic per-retry backoff jitter; `0` disables
+    /// jitter and reproduces the bare exponential schedule. Fleet
+    /// campaigns running many lanes off one radio give each lane its
+    /// own seed so retries desynchronise instead of hammering the
+    /// channel in lockstep.
+    pub jitter_seed: u64,
 }
 
 impl Default for LinkConfig {
@@ -31,6 +37,7 @@ impl Default for LinkConfig {
         LinkConfig {
             max_retries: 8,
             backoff_base: 16,
+            jitter_seed: 0,
         }
     }
 }
@@ -106,6 +113,29 @@ impl TransferReport {
 pub fn backoff_after(base: u64, attempts: u32) -> u64 {
     let shift = attempts.saturating_sub(1).min(63);
     base.saturating_mul(1u64 << shift)
+}
+
+/// [`backoff_after`] plus deterministic seeded jitter in `[0, base)`,
+/// decorrelated per `(jitter_seed, lane, attempts)` through the same
+/// splitmix64 finalizer the shard layer uses. `jitter_seed = 0`
+/// reproduces the bare exponential schedule exactly, and the jitter
+/// term never exceeds one `base`, so the doubling shape and the
+/// saturation ceiling survive: the sum saturates at `u64::MAX` instead
+/// of wrapping. `lane` names the retrying party (a page index, a die
+/// id) so co-scheduled lanes that fail the same attempt do not retry
+/// in lockstep.
+#[must_use]
+pub fn jittered_backoff(base: u64, attempts: u32, jitter_seed: u64, lane: u64) -> u64 {
+    let backoff = backoff_after(base, attempts);
+    if jitter_seed == 0 || base == 0 {
+        return backoff;
+    }
+    let draw = flexshard::shard_seed(
+        jitter_seed,
+        lane.wrapping_mul(0x1_0000)
+            .wrapping_add(u64::from(attempts)),
+    );
+    backoff.saturating_add(draw % base)
 }
 
 /// Transfer one page of `golden` into the store, retrying until it
@@ -189,8 +219,12 @@ pub fn program_page_with(
                 class: FrameClass::Failed,
             };
         }
-        *backoff_cycles =
-            backoff_cycles.saturating_add(backoff_after(config.backoff_base, attempts));
+        *backoff_cycles = backoff_cycles.saturating_add(jittered_backoff(
+            config.backoff_base,
+            attempts,
+            config.jitter_seed,
+            page as u64,
+        ));
     }
 }
 
@@ -333,10 +367,68 @@ mod tests {
         let config = LinkConfig {
             max_retries: 100,
             backoff_base: u64::MAX / 2,
+            ..LinkConfig::default()
         };
         let report = program_store(&image, &mut store, &mut channel, config);
         assert_eq!(report.failed(), 1);
         assert_eq!(report.backoff_cycles, u64::MAX, "saturated, not wrapped");
+    }
+
+    #[test]
+    fn jitter_desynchronises_lanes_without_breaking_the_schedule() {
+        // unseeded: the bare exponential schedule, bit for bit
+        for attempts in 1..12 {
+            assert_eq!(
+                jittered_backoff(16, attempts, 0, 7),
+                backoff_after(16, attempts)
+            );
+        }
+        // seeded: deterministic, bounded by one base above the schedule
+        for lane in 0..8u64 {
+            for attempts in 1..12 {
+                let a = jittered_backoff(16, attempts, 0x1A_5EED, lane);
+                let b = jittered_backoff(16, attempts, 0x1A_5EED, lane);
+                assert_eq!(a, b, "jitter replays");
+                let floor = backoff_after(16, attempts);
+                assert!((floor..floor + 16).contains(&a), "bounded jitter");
+            }
+        }
+        // two lanes failing the same attempt must not wait identically
+        // for every attempt (that is the lockstep this exists to break)
+        let schedule = |lane: u64| -> Vec<u64> {
+            (1..10)
+                .map(|a| jittered_backoff(16, a, 0x1E77E4, lane))
+                .collect()
+        };
+        assert_ne!(schedule(0), schedule(1));
+        // the saturation ceiling survives jitter
+        assert_eq!(jittered_backoff(u64::MAX, 40, 3, 0), u64::MAX);
+        assert_eq!(jittered_backoff(u64::MAX / 2, 64, 3, 5), u64::MAX);
+        assert_eq!(jittered_backoff(0, 4000, 3, 5), 0, "zero base stays zero");
+    }
+
+    #[test]
+    fn jittered_transfers_still_replay_and_verify() {
+        let image = golden(1024);
+        let run = |jitter_seed: u64| {
+            let mut store = EccStore::erased(1024);
+            let mut channel = NoisyChannel::new(ChannelConfig::with_bit_error_rate(1e-3), 42);
+            let config = LinkConfig {
+                jitter_seed,
+                ..LinkConfig::default()
+            };
+            let report = program_store(&image, &mut store, &mut channel, config);
+            (store, report)
+        };
+        let (store, a) = run(0xA5);
+        let (_, b) = run(0xA5);
+        assert_eq!(a, b, "jittered transfers replay bit-for-bit");
+        assert!(a.complete());
+        assert_eq!(store.materialize().program.as_bytes(), &image[..]);
+        // same channel draws, different wait pattern
+        let (_, bare) = run(0);
+        assert_eq!(bare.retried(), a.retried());
+        assert!(a.backoff_cycles >= bare.backoff_cycles);
     }
 
     #[test]

@@ -193,13 +193,30 @@ impl EccStore {
     /// reporting what was found. Uncorrectable words are left exactly
     /// as they are: only a reprogramming of their page can repair them.
     pub fn scrub(&mut self) -> ScrubReport {
+        self.scrub_with(&mut PowerCut::never())
+    }
+
+    /// [`EccStore::scrub`] with a [`PowerCut`] on the heal-write path —
+    /// background scrubbing runs whenever the die is powered, so a
+    /// supply collapse lands mid-sweep as readily as mid-update.
+    ///
+    /// Power loss during a scrub is harmless *by construction*: a heal
+    /// rewrite differs from the stored word in exactly the one failing
+    /// bit, so a torn write lands on either the old word (still
+    /// correctable) or the new word (clean) — never on a third, worse
+    /// value — and a lost write simply leaves the correctable word for
+    /// the next sweep. `corrected` counts only words that actually
+    /// decode clean after their rewrite.
+    pub fn scrub_with(&mut self, power: &mut PowerCut) -> ScrubReport {
         let mut report = ScrubReport::default();
         for (i, word) in self.words.iter_mut().enumerate() {
             match ecc::decode(*word) {
                 Decoded::Clean(_) => {}
                 Decoded::Corrected(data) => {
-                    *word = ecc::encode(data);
-                    report.corrected += 1;
+                    committed(word, ecc::encode(data), power);
+                    if matches!(ecc::decode(*word), Decoded::Clean(_)) {
+                        report.corrected += 1;
+                    }
                 }
                 Decoded::Uncorrectable(_) => {
                     report.uncorrectable += 1;

@@ -470,6 +470,67 @@ mod tests {
     }
 
     #[test]
+    fn power_cut_during_background_scrub_never_loses_the_active_image() {
+        // Satellite property for in-field health management: background
+        // scrubbing runs continuously, so supply collapses land mid-heal
+        // as readily as mid-update. A heal write differs from the stored
+        // word in exactly its one failing bit, so any torn interleaving
+        // yields either the old (still correctable) or the new (clean)
+        // word — sweep a cut over every heal write and the last
+        // authenticated image must always survive.
+        let baseline = {
+            let device = provisioned_device();
+            let slot = device.store().active_slot().unwrap();
+            device.store().authenticate(slot, KEY).unwrap()
+        };
+        // single-bit upsets across the active slot, metadata page included
+        let seed_flips = |device: &mut Device| -> u64 {
+            let slot = device.store().active_slot().unwrap();
+            let store = device.store_mut().slot_mut(slot);
+            let mut flipped = 0;
+            for word in (0..store.len()).step_by(8) {
+                store.flip_bit(word, (word % 13) as u8);
+                flipped += 1;
+            }
+            flipped
+        };
+        let heals = {
+            let mut device = provisioned_device();
+            let flips = seed_flips(&mut device);
+            let slot = device.store().active_slot().unwrap();
+            let report = device.store_mut().slot_mut(slot).scrub();
+            assert_eq!(
+                report.corrected as u64, flips,
+                "every upset is a one-bit heal"
+            );
+            assert_eq!(report.uncorrectable, 0);
+            flips
+        };
+        assert!(heals > 8, "sweep must cover a non-trivial scrub");
+        for cut in 0..=heals {
+            let mut device = provisioned_device();
+            seed_flips(&mut device);
+            let slot = device.store().active_slot().unwrap();
+            let mut power = PowerCut::at_write(cut, 0x5C_0BB1 ^ cut);
+            let report = device.store_mut().slot_mut(slot).scrub_with(&mut power);
+            assert_eq!(
+                report.uncorrectable, 0,
+                "cut {cut}: a torn heal never worsens a word"
+            );
+            let boot = device
+                .boot()
+                .unwrap_or_else(|_| panic!("cut {cut}: device bricked"));
+            assert_eq!(boot.metadata.version, 1, "cut {cut}");
+            let slot = device.store().active_slot().unwrap();
+            let healed = device.store().authenticate(slot, KEY).unwrap();
+            assert_eq!(
+                healed, baseline,
+                "cut {cut}: image must match pre-upset state"
+            );
+        }
+    }
+
+    #[test]
     fn power_cut_at_every_commit_word_still_boots_an_authenticated_image() {
         let wire = sign_update(Target::fc4().dialect, &kernel_bytes(), 2, KEY).wire_bytes();
         // the transfer writes wire.len() words; the three commit words

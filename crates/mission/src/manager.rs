@@ -1,0 +1,216 @@
+//! The reaction policy: an adaptive NMR ladder and jittered migration.
+//!
+//! The manager owns two decisions the static baseline never makes:
+//!
+//! * **How many lanes to spend.** Quiet missions run at the configured
+//!   *floor* (DMR-with-re-execution by default — cheap, still
+//!   detecting); any observed trouble promotes one rung up the
+//!   [`QuorumMode`] ladder toward TMR, and a run of quiet ticks demotes
+//!   one rung back toward the floor. Promotion is immediate and
+//!   demotion is lazy, because the cost of a wrongly-cheap tick (silent
+//!   corruption) dwarfs the cost of a wrongly-expensive one (a lane).
+//! * **When a replacement spare comes online.** Migration delay is the
+//!   configured base plus a deterministic jitter drawn from the
+//!   manager's seed — a whole fleet sharing one update server must not
+//!   re-screen and re-flash in lockstep after a common-mode event, for
+//!   exactly the reason `flexlink`'s retransmission backoff is jittered
+//!   (PR 8, same change).
+
+use flexresilient::QuorumMode;
+
+/// Policy knobs for a [`MissionManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManagerConfig {
+    /// The cheapest mode the ladder may demote to.
+    pub floor: QuorumMode,
+    /// Consecutive clean ticks before one demotion step.
+    pub quiet_ticks: u32,
+    /// Base ticks a migration target spends coming online.
+    pub migrate_backoff: u32,
+    /// Seed for the migration-delay jitter (0 disables jitter).
+    pub jitter_seed: u64,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            floor: QuorumMode::DmrReexec,
+            quiet_ticks: 4,
+            migrate_backoff: 2,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// The closed-loop health-management policy state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissionManager {
+    config: ManagerConfig,
+    mode: QuorumMode,
+    quiet: u32,
+    migrations: u64,
+}
+
+impl MissionManager {
+    /// A manager starting at its configured floor (missions begin in
+    /// the cheap steady state; stress earns promotion).
+    #[must_use]
+    pub fn new(config: ManagerConfig) -> Self {
+        MissionManager {
+            config,
+            mode: config.floor,
+            quiet: 0,
+            migrations: 0,
+        }
+    }
+
+    /// The mode the next tick should run under.
+    #[must_use]
+    pub fn mode(&self) -> QuorumMode {
+        self.mode
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// React to observed trouble: promote one rung toward TMR. Returns
+    /// `true` if the mode actually changed.
+    pub fn note_trouble(&mut self) -> bool {
+        self.quiet = 0;
+        match self.mode.promote() {
+            Some(up) => {
+                self.mode = up;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// React to a fully clean tick: after `quiet_ticks` of them in a
+    /// row, demote one rung back toward the floor. Returns `true` on a
+    /// demotion step.
+    pub fn note_clean(&mut self) -> bool {
+        self.quiet += 1;
+        // QuorumMode orders Tmr < DmrReexec < Simplex, so "above the
+        // floor in assurance" is `mode < floor`
+        if self.quiet >= self.config.quiet_ticks.max(1) && self.mode < self.config.floor {
+            if let Some(down) = self.mode.degrade() {
+                self.mode = down;
+                self.quiet = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Ticks until the next migration target is online: the base
+    /// backoff plus a deterministic per-migration jitter in
+    /// `0..migrate_backoff`, so fleet members sharing a seed schedule
+    /// *different* delays and a common-mode bend event does not stampede
+    /// the update server.
+    pub fn migration_delay(&mut self) -> u32 {
+        let base = self.config.migrate_backoff;
+        let delay = if self.config.jitter_seed == 0 || base == 0 {
+            base
+        } else {
+            let draw = flexshard::shard_seed(self.config.jitter_seed, self.migrations);
+            base + (draw % u64::from(base)) as u32
+        };
+        self.migrations += 1;
+        delay
+    }
+
+    /// Migrations scheduled so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_promotes_immediately_and_demotes_lazily() {
+        let mut m = MissionManager::new(ManagerConfig::default());
+        assert_eq!(m.mode(), QuorumMode::DmrReexec, "starts at the floor");
+        assert!(m.note_trouble());
+        assert_eq!(m.mode(), QuorumMode::Tmr);
+        assert!(!m.note_trouble(), "nothing above TMR");
+
+        // three clean ticks: not yet quiet enough
+        for _ in 0..3 {
+            assert!(!m.note_clean());
+        }
+        assert_eq!(m.mode(), QuorumMode::Tmr);
+        // the fourth demotes one rung, back to the floor
+        assert!(m.note_clean());
+        assert_eq!(m.mode(), QuorumMode::DmrReexec);
+        // and never below it
+        for _ in 0..16 {
+            assert!(!m.note_clean());
+        }
+        assert_eq!(m.mode(), QuorumMode::DmrReexec);
+    }
+
+    #[test]
+    fn trouble_resets_the_quiet_run() {
+        let mut m = MissionManager::new(ManagerConfig::default());
+        m.note_trouble();
+        for _ in 0..3 {
+            m.note_clean();
+        }
+        m.note_trouble(); // stays TMR, restarts the count
+        for _ in 0..3 {
+            assert!(!m.note_clean());
+        }
+        assert_eq!(m.mode(), QuorumMode::Tmr);
+    }
+
+    #[test]
+    fn simplex_floor_descends_the_whole_ladder() {
+        let mut m = MissionManager::new(ManagerConfig {
+            floor: QuorumMode::Simplex,
+            quiet_ticks: 1,
+            ..ManagerConfig::default()
+        });
+        assert_eq!(m.mode(), QuorumMode::Simplex);
+        m.note_trouble();
+        m.note_trouble();
+        assert_eq!(m.mode(), QuorumMode::Tmr);
+        assert!(m.note_clean());
+        assert_eq!(m.mode(), QuorumMode::DmrReexec);
+        assert!(m.note_clean());
+        assert_eq!(m.mode(), QuorumMode::Simplex);
+    }
+
+    #[test]
+    fn migration_delays_are_jittered_deterministic_and_bounded() {
+        let config = ManagerConfig {
+            migrate_backoff: 4,
+            jitter_seed: 0xF1EE7,
+            ..ManagerConfig::default()
+        };
+        let delays = |config: ManagerConfig| {
+            let mut m = MissionManager::new(config);
+            (0..16).map(|_| m.migration_delay()).collect::<Vec<_>>()
+        };
+        let a = delays(config);
+        assert_eq!(a, delays(config), "same seed, same schedule");
+        assert!(a.iter().all(|&d| (4..8).contains(&d)), "{a:?}");
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "jitter must actually vary: {a:?}"
+        );
+        // unseeded: flat base delay
+        let flat = delays(ManagerConfig {
+            jitter_seed: 0,
+            ..config
+        });
+        assert!(flat.iter().all(|&d| d == 4));
+    }
+}

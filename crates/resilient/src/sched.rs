@@ -70,6 +70,18 @@ impl QuorumMode {
             QuorumMode::Simplex => None,
         }
     }
+
+    /// The next rung *up* the ladder, or `None` above TMR. In-field
+    /// health managers climb back up when trouble is observed, spending
+    /// lanes for assurance; the inverse of [`QuorumMode::degrade`].
+    #[must_use]
+    pub fn promote(self) -> Option<QuorumMode> {
+        match self {
+            QuorumMode::Tmr => None,
+            QuorumMode::DmrReexec => Some(QuorumMode::Tmr),
+            QuorumMode::Simplex => Some(QuorumMode::DmrReexec),
+        }
+    }
 }
 
 impl core::fmt::Display for QuorumMode {
@@ -206,6 +218,15 @@ mod tests {
         assert_eq!(QuorumMode::Tmr.degrade(), Some(QuorumMode::DmrReexec));
         assert_eq!(QuorumMode::DmrReexec.degrade(), Some(QuorumMode::Simplex));
         assert_eq!(QuorumMode::Simplex.degrade(), None);
+        // promote is degrade's exact inverse
+        assert_eq!(QuorumMode::Tmr.promote(), None);
+        assert_eq!(QuorumMode::DmrReexec.promote(), Some(QuorumMode::Tmr));
+        assert_eq!(QuorumMode::Simplex.promote(), Some(QuorumMode::DmrReexec));
+        for mode in [QuorumMode::Tmr, QuorumMode::DmrReexec, QuorumMode::Simplex] {
+            if let Some(down) = mode.degrade() {
+                assert_eq!(down.promote(), Some(mode));
+            }
+        }
         assert_eq!(QuorumMode::Tmr.lanes(), 3);
         assert_eq!(QuorumMode::from_name("TMR"), Some(QuorumMode::Tmr));
         assert_eq!(QuorumMode::from_name("bogus"), None);
