@@ -63,6 +63,55 @@ for target in fc4 fc8 xacc xls; do
 done
 ./target/release/flexi check --campaign 25 --seed 1 | tail -2
 
+echo "== serve smoke =="
+# crash-safety gate for the toolchain daemon: batch twice (the second
+# run must be all cache hits with the same reply digest), kill -9 the
+# daemon mid-batch, restart it on the same cache directory, and verify
+# the re-issued batch still matches byte-for-byte — a crash must never
+# poison the content-addressed cache
+serve_cache=/tmp/flexi_serve_cache
+serve_log=/tmp/flexi_serve_log
+serve_fifo=/tmp/flexi_serve_stdin
+rm -rf "$serve_cache" "$serve_log" "$serve_fifo"
+mkfifo "$serve_fifo"
+start_serve() {
+    # the daemon drains on stdin EOF, so hand it a fifo this script
+    # holds open — otherwise a CI runner's /dev/null stdin would drain
+    # it before the first batch lands
+    ./target/release/flexi serve --cache "$serve_cache" \
+        < "$serve_fifo" > "$serve_log" &
+    serve_pid=$!
+    exec 9> "$serve_fifo"
+    for _ in $(seq 1 100); do
+        grep -q "flexi serve: listening on" "$serve_log" 2> /dev/null && break
+        sleep 0.1
+    done
+    serve_port=$(sed -n 's/.*listening on .*:\([0-9]*\) .*/\1/p' "$serve_log")
+    test -n "$serve_port"
+}
+start_serve
+cold=$(./target/release/flexi client batch --port "$serve_port")
+warm=$(./target/release/flexi client batch --port "$serve_port")
+echo "$warm" | grep -q "all cache hits"
+cold_digest=$(echo "$cold" | sed -n 's/^batch digest //p')
+warm_digest=$(echo "$warm" | sed -n 's/^batch digest //p')
+test -n "$cold_digest" && test "$cold_digest" = "$warm_digest"
+./target/release/flexi client batch --port "$serve_port" --seed 99 \
+    > /dev/null 2>&1 &
+interrupted=$!
+sleep 0.05
+kill -9 "$serve_pid"
+wait "$serve_pid" 2> /dev/null || true
+wait "$interrupted" 2> /dev/null || true
+start_serve
+again=$(./target/release/flexi client batch --port "$serve_port")
+again_digest=$(echo "$again" | sed -n 's/^batch digest //p')
+test "$again_digest" = "$warm_digest"
+./target/release/flexi client drain --port "$serve_port" > /dev/null
+wait "$serve_pid"
+exec 9>&-
+rm -rf "$serve_cache" "$serve_log" "$serve_fifo"
+
 echo "== cargo test =="
 cargo test --offline --workspace -q
 
@@ -79,7 +128,8 @@ echo "== cargo doc =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p flexicore -p flexasm -p flexgate -p flexrtl -p flexfab \
     -p flexkernels -p flexinject -p flexresilient -p flexlink -p flexdse \
-    -p flexcheck -p flexshard -p flexmission -p flexcli -p flexbench
+    -p flexcheck -p flexshard -p flexmission -p flexserve -p flexcli \
+    -p flexbench
 
 echo "== cargo clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -59,4 +59,4 @@ pub mod target;
 
 pub use assemble::{Assembler, Assembly};
 pub use error::AsmError;
-pub use target::Target;
+pub use target::{Target, TargetParseError};

@@ -87,7 +87,68 @@ impl Target {
             }
         }
     }
+
+    /// Resolve a `(dialect, features)` name pair — the form every
+    /// session-style entry point (CLI flags, daemon requests) receives —
+    /// into a target. `dialect` is one of `fc4`, `fc8`, `xacc`, `xls`;
+    /// `features` is empty, `revised`, or a comma-separated list of
+    /// `adc`, `shift`, `flags`, `mul`, `xch`, `call`, `2xreg`. The
+    /// fabricated dialects have fixed ISAs, so their feature list is
+    /// ignored, matching the long-standing CLI behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`TargetParseError`] naming the unknown dialect or feature.
+    pub fn parse(dialect: &str, features: &str) -> Result<Target, TargetParseError> {
+        use flexicore::isa::features::Feature;
+        let set = match features.trim() {
+            "" => FeatureSet::BASE,
+            "revised" => FeatureSet::revised(),
+            list => {
+                let mut set = FeatureSet::BASE;
+                for item in list.split(',').filter(|s| !s.is_empty()) {
+                    let feature = match item.trim() {
+                        "adc" => Feature::AddWithCarry,
+                        "shift" => Feature::BarrelShifter,
+                        "flags" => Feature::BranchFlags,
+                        "mul" => Feature::Multiplier,
+                        "xch" => Feature::AccExchange,
+                        "call" => Feature::Subroutines,
+                        "2xreg" => Feature::DoubleRegfile,
+                        other => {
+                            return Err(TargetParseError(format!(
+                                "unknown feature `{other}` (adc, shift, flags, mul, xch, call, 2xreg, revised)"
+                            )))
+                        }
+                    };
+                    set = set.with(feature);
+                }
+                set
+            }
+        };
+        match dialect.trim() {
+            "fc4" => Ok(Target::fc4()),
+            "fc8" => Ok(Target::fc8()),
+            "xacc" => Ok(Target::xacc(set)),
+            "xls" => Ok(Target::xls(set)),
+            other => Err(TargetParseError(format!(
+                "unknown target `{other}` (fc4, fc8, xacc, xls)"
+            ))),
+        }
+    }
 }
+
+/// An unknown dialect or feature name handed to [`Target::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetParseError(pub String);
+
+impl core::fmt::Display for TargetParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TargetParseError {}
 
 #[cfg(test)]
 mod tests {
@@ -100,5 +161,30 @@ mod tests {
         assert!(Target::xacc_revised().has_unconditional_branch());
         assert!(!Target::fc4().has_unconditional_branch());
         assert!(!Target::xacc(FeatureSet::BASE).has_unconditional_branch());
+    }
+
+    #[test]
+    fn parse_resolves_dialects_and_features() {
+        use flexicore::isa::features::Feature;
+        assert_eq!(Target::parse("fc4", "").unwrap(), Target::fc4());
+        assert_eq!(Target::parse("fc8", "").unwrap(), Target::fc8());
+        assert_eq!(
+            Target::parse("xls", "revised").unwrap(),
+            Target::xls_revised()
+        );
+        let t = Target::parse("xacc", "adc, shift").unwrap();
+        assert!(t.features.contains(Feature::AddWithCarry));
+        assert!(t.features.contains(Feature::BarrelShifter));
+        assert!(!t.features.contains(Feature::Multiplier));
+        // fixed-ISA dialects ignore the feature list
+        assert_eq!(Target::parse("fc4", "mul").unwrap(), Target::fc4());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names() {
+        let err = Target::parse("fc16", "").unwrap_err();
+        assert!(err.to_string().contains("fc16"), "{err}");
+        let err = Target::parse("xacc", "warp-drive").unwrap_err();
+        assert!(err.to_string().contains("warp-drive"), "{err}");
     }
 }

@@ -1,0 +1,119 @@
+//! What does the toolchain daemon's cache buy?
+//!
+//! The serve daemon memoizes every toolchain verdict in a
+//! content-addressed disk cache, so the interesting numbers are the
+//! cold path (real assemble/analyze/admit work per request) against
+//! the warm path (SHA-256 key + digest-verified disk read), measured
+//! through the real TCP protocol — framing, codec and cache included.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flexserve::{serve, Client, ReplyStatus, Request, ServeConfig};
+
+fn kernel_requests() -> Vec<Request> {
+    let dialect = flexicore::isa::Dialect::Fc4;
+    let mut subs = Vec::new();
+    for k in flexkernels::Kernel::ALL {
+        if !k.supports(dialect) {
+            continue;
+        }
+        let source = k.source_for(dialect);
+        subs.push(Request::Assemble {
+            dialect: "fc4".to_string(),
+            features: String::new(),
+            source: source.clone(),
+        });
+        subs.push(Request::Check {
+            dialect: "fc4".to_string(),
+            features: String::new(),
+            source,
+            deny: 2,
+        });
+    }
+    subs
+}
+
+fn start_daemon(name: &str) -> (flexserve::ServerHandle, Client) {
+    let dir = std::env::temp_dir().join(format!("flexserve-bench-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = serve(ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        max_connections: 8,
+        cache_dir: dir,
+        ..ServeConfig::default()
+    })
+    .expect("daemon binds");
+    let client = Client::connect(handle.addr()).expect("client connects");
+    (handle, client)
+}
+
+fn bench_cold_vs_warm_batch(c: &mut Criterion) {
+    let subs = kernel_requests();
+    let n = subs.len() as u64;
+
+    // Cold: every iteration runs against a daemon whose cache was wiped
+    // for that request set — approximate by unique per-iteration sources
+    // (an extra comment line keys each iteration differently).
+    let (cold_handle, mut cold_client) = start_daemon("cold");
+    let mut group = c.benchmark_group("serve_batch");
+    group.throughput(Throughput::Elements(n));
+    let mut round = 0u64;
+    group.bench_function("cold_miss", |b| {
+        b.iter(|| {
+            round += 1;
+            let unique: Vec<Request> = subs
+                .iter()
+                .map(|r| match r.clone() {
+                    Request::Assemble {
+                        dialect,
+                        features,
+                        source,
+                    } => Request::Assemble {
+                        dialect,
+                        features,
+                        source: format!("; round {round}\n{source}"),
+                    },
+                    Request::Check {
+                        dialect,
+                        features,
+                        source,
+                        deny,
+                    } => Request::Check {
+                        dialect,
+                        features,
+                        source: format!("; round {round}\n{source}"),
+                        deny,
+                    },
+                    other => other,
+                })
+                .collect();
+            let reply = cold_client
+                .call(&Request::Batch(unique))
+                .expect("cold batch");
+            assert_eq!(reply.status, ReplyStatus::Ok);
+        });
+    });
+
+    // Warm: the identical batch every iteration — after the first, all
+    // sub-requests are digest-verified disk reads.
+    let (warm_handle, mut warm_client) = start_daemon("warm");
+    let prime = warm_client
+        .call(&Request::Batch(subs.clone()))
+        .expect("prime batch");
+    assert_eq!(prime.status, ReplyStatus::Ok);
+    group.bench_function("warm_hit", |b| {
+        b.iter(|| {
+            let reply = warm_client
+                .call(&Request::Batch(subs.clone()))
+                .expect("warm batch");
+            assert_eq!(reply.status, ReplyStatus::Ok);
+        });
+    });
+    group.finish();
+
+    cold_handle.drain();
+    warm_handle.drain();
+}
+
+criterion_group!(benches, bench_cold_vs_warm_batch);
+criterion_main!(benches);

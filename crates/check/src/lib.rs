@@ -63,3 +63,21 @@ pub fn analyze(target: &Target, program: &Program) -> CheckReport {
 pub fn check_assembly(assembly: &Assembly) -> CheckReport {
     cfg::analyze(&assembly.target(), assembly.program())
 }
+
+/// The static admission gate shared by every service-style entry point
+/// (the field-reprogramming link's image gate, the toolchain daemon's
+/// `link-admit` request): refuse `program` when the analyzer reports
+/// any finding at or above `deny` severity.
+///
+/// # Errors
+///
+/// The refusing findings, ordered as the analyzer reported them.
+pub fn admit(target: &Target, program: &Program, deny: Severity) -> Result<(), Vec<Finding>> {
+    let report = cfg::analyze(target, program);
+    let findings: Vec<Finding> = report.at_least(deny).into_iter().cloned().collect();
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(findings)
+    }
+}

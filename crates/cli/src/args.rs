@@ -63,7 +63,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["listing", "trace", "signed"];
+const BOOLEAN_FLAGS: &[&str] = &["listing", "trace", "signed", "salvage"];
 
 impl Args {
     /// Parse raw arguments.
@@ -207,41 +207,9 @@ impl Args {
     ///
     /// [`CliError::Usage`] for unknown names.
     pub fn target(&mut self) -> Result<flexasm::Target, CliError> {
-        use flexicore::isa::features::{Feature, FeatureSet};
-        let features = match self.flag("features") {
-            None => FeatureSet::BASE,
-            Some(list) if list == "revised" => FeatureSet::revised(),
-            Some(list) => {
-                let mut set = FeatureSet::BASE;
-                for item in list.split(',').filter(|s| !s.is_empty()) {
-                    let feature = match item.trim() {
-                        "adc" => Feature::AddWithCarry,
-                        "shift" => Feature::BarrelShifter,
-                        "flags" => Feature::BranchFlags,
-                        "mul" => Feature::Multiplier,
-                        "xch" => Feature::AccExchange,
-                        "call" => Feature::Subroutines,
-                        "2xreg" => Feature::DoubleRegfile,
-                        other => {
-                            return Err(CliError::Usage(format!(
-                                "unknown feature `{other}` (adc, shift, flags, mul, xch, call, 2xreg, revised)"
-                            )))
-                        }
-                    };
-                    set = set.with(feature);
-                }
-                set
-            }
-        };
-        match self.flag("target").as_deref().unwrap_or("fc4") {
-            "fc4" => Ok(flexasm::Target::fc4()),
-            "fc8" => Ok(flexasm::Target::fc8()),
-            "xacc" => Ok(flexasm::Target::xacc(features)),
-            "xls" => Ok(flexasm::Target::xls(features)),
-            other => Err(CliError::Usage(format!(
-                "unknown target `{other}` (fc4, fc8, xacc, xls)"
-            ))),
-        }
+        let features = self.flag("features").unwrap_or_default();
+        let dialect = self.flag("target").unwrap_or_else(|| "fc4".to_string());
+        flexasm::Target::parse(&dialect, &features).map_err(|e| CliError::Usage(e.to_string()))
     }
 }
 

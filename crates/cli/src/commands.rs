@@ -58,6 +58,12 @@ commands:
           [--seed N] [--spares N] [--budget N] [--deny info|warning|error]
           [--threads N] [--shards N]
   dse
+  serve   [--port N] [--host H] [--cache DIR] [--workers N] [--queue N]
+          [--conns N] [--deadline-ms N]
+  client  <status|drain|asm|check|admit|run|yield|batch> [<file.s>] --port N
+          [--host H] [--deadline-ms N] [--target T] [--features F,..]
+          [--deny S] [--input 1,2,..] [--max-cycles N] [--design D]
+          [--voltage-mv N] [--seed N] [--cycles N] [--salvage]
   help
 
 targets: fc4 (default), fc8, xacc, xls
@@ -288,7 +294,8 @@ pub fn wave(args: &mut Args) -> Result<String, CliError> {
     let source = std::fs::read_to_string(&path)?;
     let assembly = Assembler::new(target).assemble(&source)?;
     let netlist = fabricated_netlist("wave", target.dialect)?;
-    let mut sim = flexgate::sim::BatchSim::new(&netlist).expect("core netlists are well-formed");
+    let mut sim = flexgate::sim::BatchSim::new(&netlist)
+        .map_err(|e| CliError::Run(format!("netlist rejected by the gate simulator: {e}")))?;
     sim.reset();
     let mut vcd = flexgate::vcd::VcdRecorder::new(&netlist, &["instr", "iport", "pc", "oport"]);
     let program = assembly.program();
@@ -385,16 +392,12 @@ pub fn kernel(args: &mut Args) -> Result<String, CliError> {
 /// Usage errors.
 pub fn wafer(args: &mut Args) -> Result<String, CliError> {
     use flexfab::wafer_run::{CoreDesign, WaferExperiment};
-    let design = match args.flag("design").as_deref().unwrap_or("fc4") {
-        "fc4" => CoreDesign::FlexiCore4,
-        "fc8" => CoreDesign::FlexiCore8,
-        "fc4plus" | "fc4+" => CoreDesign::FlexiCore4Plus,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown design `{other}` (fc4, fc8, fc4plus)"
-            )))
-        }
-    };
+    let design_name = args.flag("design").unwrap_or_else(|| "fc4".to_string());
+    let design = CoreDesign::parse(&design_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown design `{design_name}` (fc4, fc8, fc4plus)"
+        ))
+    })?;
     let voltage = args.num("voltage", 4.5f64)?;
     let seed = args.num("seed", flexfab::calibration::seeds::YIELD)?;
     let cycles = args.num("cycles", 10_000u64)?;
@@ -827,6 +830,226 @@ pub fn dse(_args: &mut Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `flexi serve` — run the toolchain daemon until drained (by a `drain`
+/// request or stdin EOF). Prints the listening line eagerly so
+/// supervising scripts can scrape the bound port.
+///
+/// # Errors
+///
+/// Usage errors, or [`CliError::Io`] if the bind or cache directory
+/// fails.
+pub fn serve(args: &mut Args) -> Result<String, CliError> {
+    let host = args.flag("host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port = args.num("port", 0u16)?;
+    let cache_dir = args
+        .flag("cache")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("flexserve-cache"));
+    let config = flexserve::ServeConfig {
+        addr: format!("{host}:{port}"),
+        workers: args.num("workers", 4usize)?,
+        queue_depth: args.num("queue", 64usize)?,
+        max_connections: args.num("conns", 32usize)?,
+        cache_dir,
+        default_deadline_ms: args.num("deadline-ms", 0u64)?,
+    };
+    // Reject unknown flags *before* blocking in the daemon (dispatch's
+    // own finish() would only run after the drain).
+    args.finish()?;
+    let handle = flexserve::serve(config)?;
+    let stats = handle.stats();
+    println!(
+        "flexi serve: listening on {} ({} workers, queue {})",
+        handle.addr(),
+        stats.workers,
+        stats.queue_depth,
+    );
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    flexserve::drain_on_stdin_eof(&handle);
+    let stats = handle.wait();
+    Ok(format!("drained cleanly\n{}", stats.render()))
+}
+
+fn parse_deny(args: &mut Args) -> Result<u8, CliError> {
+    let name = args.flag("deny").unwrap_or_else(|| "error".to_string());
+    match name.as_str() {
+        "info" => Ok(0),
+        "warning" => Ok(1),
+        "error" => Ok(2),
+        other => Err(CliError::Usage(format!(
+            "unknown deny severity `{other}` (info, warning, error)"
+        ))),
+    }
+}
+
+fn client_source_request(op: &str, args: &mut Args) -> Result<flexserve::Request, CliError> {
+    let path = args.positional(1, "source file").map(str::to_string)?;
+    let dialect = args.flag("target").unwrap_or_else(|| "fc4".to_string());
+    let features = args.flag("features").unwrap_or_default();
+    let source = std::fs::read_to_string(&path)?;
+    Ok(match op {
+        "asm" => flexserve::Request::Assemble {
+            dialect,
+            features,
+            source,
+        },
+        "check" => flexserve::Request::Check {
+            dialect,
+            features,
+            source,
+            deny: parse_deny(args)?,
+        },
+        "admit" => flexserve::Request::Admit {
+            dialect,
+            features,
+            source,
+            deny: parse_deny(args)?,
+        },
+        _ => flexserve::Request::Simulate {
+            dialect,
+            features,
+            source,
+            inputs: args.u8_list("input")?,
+            max_cycles: args.num("max-cycles", 1_000_000u64)?,
+        },
+    })
+}
+
+/// The CI/soak reference workload: assemble + analyze + admit + simulate
+/// every kernel the fc4 dialect supports, plus one wafer yield query.
+/// Deterministic in `seed`, so repeated batches are byte-identical and
+/// the second run is all cache hits.
+#[must_use]
+pub fn standard_batch(seed: u64) -> Vec<flexserve::Request> {
+    let dialect = Dialect::Fc4;
+    let mut subs = Vec::new();
+    for k in flexkernels::Kernel::ALL {
+        if !k.supports(dialect) {
+            continue;
+        }
+        let source = k.source_for(dialect);
+        subs.push(flexserve::Request::Assemble {
+            dialect: "fc4".to_string(),
+            features: String::new(),
+            source: source.clone(),
+        });
+        subs.push(flexserve::Request::Check {
+            dialect: "fc4".to_string(),
+            features: String::new(),
+            source: source.clone(),
+            deny: 2,
+        });
+        subs.push(flexserve::Request::Admit {
+            dialect: "fc4".to_string(),
+            features: String::new(),
+            source: source.clone(),
+            deny: 2,
+        });
+        subs.push(flexserve::Request::Simulate {
+            dialect: "fc4".to_string(),
+            features: String::new(),
+            source,
+            inputs: flexkernels::inputs::Sampler::new(k, seed).draw(),
+            max_cycles: 200_000,
+        });
+    }
+    subs.push(flexserve::Request::Yield {
+        design: "fc4".to_string(),
+        voltage_mv: 4_500,
+        seed,
+        cycles: 300,
+        salvage: false,
+    });
+    subs
+}
+
+fn render_reply(reply: &flexserve::Reply) -> String {
+    let mut out = format!(
+        "{}{}: {}",
+        reply.status.name(),
+        if reply.cached { " (cached)" } else { "" },
+        reply.text.trim_end(),
+    );
+    if !reply.data.is_empty() {
+        let _ = write!(out, "\n{} data bytes", reply.data.len());
+    }
+    out.push('\n');
+    out
+}
+
+/// `flexi client` — talk to a running daemon.
+///
+/// Operations: `status`, `drain`, `asm|check|admit|run <file.s>`,
+/// `yield`, `batch` (the standard mixed workload; prints a digest over
+/// all sub-replies for warm-vs-cold byte-identity checks).
+///
+/// # Errors
+///
+/// Usage errors, or [`CliError::Run`] for connection trouble.
+pub fn client(args: &mut Args) -> Result<String, CliError> {
+    let op = args
+        .positional(
+            0,
+            "operation (status|drain|asm|check|admit|run|yield|batch)",
+        )?
+        .to_string();
+    let host = args.flag("host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port = args.num("port", 0u16)?;
+    if port == 0 {
+        return Err(CliError::Usage("--port is required".to_string()));
+    }
+    let request = match op.as_str() {
+        "status" => flexserve::Request::Status,
+        "drain" => flexserve::Request::Drain,
+        "asm" | "check" | "admit" | "run" => client_source_request(&op, args)?,
+        "yield" => flexserve::Request::Yield {
+            design: args.flag("design").unwrap_or_else(|| "fc4".to_string()),
+            voltage_mv: args.num("voltage-mv", 4_500u64)?,
+            seed: args.num("seed", flexfab::calibration::seeds::YIELD)?,
+            cycles: args.num("cycles", 300u64)?,
+            salvage: args.has("salvage"),
+        },
+        "batch" => flexserve::Request::Batch(standard_batch(args.num("seed", 0xF1E5u64)?)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown client operation `{other}` (status|drain|asm|check|admit|run|yield|batch)"
+            )))
+        }
+    };
+    let mut client = flexserve::Client::connect((host.as_str(), port))
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    client.deadline_ms = args.num("deadline-ms", 0u64)?;
+    let reply = client
+        .call(&request)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+
+    if let flexserve::Request::Batch(subs) = &request {
+        let replies = flexserve::protocol::decode_batch_data(&reply.data)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let mut out = format!("{}\n", reply.text.trim_end());
+        let mut cached = 0usize;
+        let mut ok = 0usize;
+        for (sub, sub_reply) in subs.iter().zip(&replies) {
+            let _ = writeln!(
+                out,
+                "  {:<9} {}{}",
+                sub.kind_name(),
+                sub_reply.status.name(),
+                if sub_reply.cached { " (cached)" } else { "" },
+            );
+            cached += usize::from(sub_reply.cached);
+            ok += usize::from(sub_reply.status == flexserve::ReplyStatus::Ok);
+        }
+        let _ = writeln!(out, "summary: {ok}/{} ok, {cached} cached", replies.len());
+        if cached == replies.len() && !replies.is_empty() {
+            out.push_str("all cache hits\n");
+        }
+        let _ = writeln!(out, "batch digest {}", flexserve::reply_digest(&replies));
+        return Ok(out);
+    }
+    Ok(render_reply(&reply))
+}
+
 fn execute<I: InputPort, O: OutputPort>(
     target: Target,
     program: Program,
@@ -912,6 +1135,49 @@ mod tests {
         let out = call(&["run", &src, "--input", "1", "--trace"]).unwrap();
         assert!(out.contains("cycle"), "{out}");
         assert!(out.contains("(taken)"), "{out}");
+    }
+
+    #[test]
+    fn client_round_trips_against_a_live_daemon() {
+        let cache = std::env::temp_dir().join(format!("flexi-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache);
+        let handle = flexserve::serve(flexserve::ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            max_connections: 8,
+            cache_dir: cache,
+            ..flexserve::ServeConfig::default()
+        })
+        .unwrap();
+        let port = handle.addr().port().to_string();
+
+        let src = write_temp("client_asm", ADD3);
+        let cold = call(&["client", "asm", &src, "--port", &port]).unwrap();
+        assert!(cold.starts_with("ok"), "{cold}");
+        let warm = call(&["client", "asm", &src, "--port", &port]).unwrap();
+        assert!(warm.contains("(cached)"), "{warm}");
+
+        let status = call(&["client", "status", "--port", &port]).unwrap();
+        assert!(status.contains("cache-hits 1"), "{status}");
+        assert!(status.contains("panics 0"), "{status}");
+
+        let drain = call(&["client", "drain", "--port", &port]).unwrap();
+        assert!(drain.contains("draining"), "{drain}");
+        let stats = handle.wait();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn client_requires_a_port_and_known_operation() {
+        assert!(matches!(
+            call(&["client", "status"]),
+            Err(crate::CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call(&["client", "frobnicate", "--port", "1"]),
+            Err(crate::CliError::Usage(_))
+        ));
     }
 
     #[test]

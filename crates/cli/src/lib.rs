@@ -35,6 +35,13 @@
 //!               [--ticks N] [--seed N] [--spares N] [--budget N]
 //!               [--deny info|warning|error] [--threads N] [--shards N]
 //! flexi dse
+//! flexi serve   [--port N] [--host H] [--cache DIR] [--workers N]
+//!               [--queue N] [--conns N] [--deadline-ms N]
+//! flexi client  <status|drain|asm|check|admit|run|yield|batch> [<file.s>]
+//!               --port N [--host H] [--deadline-ms N] [--target T]
+//!               [--features F,..] [--deny S] [--input 1,2,..]
+//!               [--max-cycles N] [--design D] [--voltage-mv N] [--seed N]
+//!               [--cycles N] [--salvage]
 //! ```
 //!
 //! Targets: `fc4` (default), `fc8`, `xacc`, `xls`; `--features` applies to
@@ -82,6 +89,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "attack" => commands::attack(&mut args)?,
         "mission" => commands::mission(&mut args)?,
         "dse" => commands::dse(&mut args)?,
+        "serve" => commands::serve(&mut args)?,
+        "client" => commands::client(&mut args)?,
         "help" | "--help" | "-h" => commands::usage(),
         other => {
             return Err(CliError::Usage(format!(

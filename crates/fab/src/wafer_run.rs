@@ -40,6 +40,19 @@ impl CoreDesign {
         }
     }
 
+    /// Resolve a design name as spelled by session-style entry points
+    /// (CLI flags, daemon requests): `fc4`, `fc8`, `fc4plus`/`fc4+`.
+    /// Returns `None` for anything else.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<CoreDesign> {
+        match name.trim() {
+            "fc4" => Some(CoreDesign::FlexiCore4),
+            "fc8" => Some(CoreDesign::FlexiCore8),
+            "fc4plus" | "fc4+" => Some(CoreDesign::FlexiCore4Plus),
+            _ => None,
+        }
+    }
+
     /// The wafer recipe the design was fabricated with.
     #[must_use]
     pub fn recipe(self) -> WaferRecipe {
@@ -244,6 +257,18 @@ impl WaferExperiment {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_resolves_design_names() {
+        assert_eq!(CoreDesign::parse("fc4"), Some(CoreDesign::FlexiCore4));
+        assert_eq!(CoreDesign::parse("fc8"), Some(CoreDesign::FlexiCore8));
+        assert_eq!(
+            CoreDesign::parse("fc4plus"),
+            Some(CoreDesign::FlexiCore4Plus)
+        );
+        assert_eq!(CoreDesign::parse("fc4+"), Some(CoreDesign::FlexiCore4Plus));
+        assert_eq!(CoreDesign::parse("fc16"), None);
+    }
 
     #[test]
     fn fc4_yield_bands_match_table5() {

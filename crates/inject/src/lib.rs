@@ -43,7 +43,7 @@ pub mod stress;
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultModel, Outcome, Trial};
 pub use pool::{PoolDie, SalvagePool};
 pub use report::Tally;
-pub use salvage::{SalvageAnalysis, SalvageConfig};
+pub use salvage::{SalvageAnalysis, SalvageConfig, SalvageScreen};
 pub use sites::power_cut_plans;
 pub use stress::{BrownoutPlan, StressConfig, StressSchedule, TickStress};
 

@@ -160,7 +160,75 @@ pub fn die_is_salvageable(
     true
 }
 
-/// Classify every die of a tested wafer.
+/// A reusable salvage screen: kernels assembled and baseline-verified
+/// once, then applied to any number of wafer runs.
+///
+/// [`analyze`] is the one-shot form; long-lived callers (the toolchain
+/// daemon's yield queries, lot-scale sweeps) construct the screen once
+/// and amortize the kernel preparation and the fault-free baseline
+/// across every query.
+#[derive(Debug)]
+pub struct SalvageScreen {
+    design: CoreDesign,
+    config: SalvageConfig,
+    prepared: Vec<PreparedKernel>,
+}
+
+impl SalvageScreen {
+    /// Prepare the screen: assemble every kernel the design supports and
+    /// verify the fault-free baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError`] if a kernel fails to assemble for the design's
+    /// target or fails its fault-free reference run — the screen is
+    /// meaningless without a clean baseline.
+    pub fn new(design: CoreDesign, config: SalvageConfig) -> Result<SalvageScreen, RunError> {
+        let target = target_for(design);
+        let prepared: Vec<PreparedKernel> = Kernel::ALL
+            .iter()
+            .filter(|k| k.supports(target.dialect))
+            .map(|&k| PreparedKernel::new(k, target))
+            .collect::<Result<_, _>>()?;
+        // Fault-free baseline: every kernel must verify clean before any
+        // die is blamed on its defects.
+        for kernel in &prepared {
+            let inputs = Sampler::new(kernel.kernel(), config.seed).draw();
+            kernel.run_with(&inputs, config.budget, &mut NoFaults)?;
+        }
+        Ok(SalvageScreen {
+            design,
+            config,
+            prepared,
+        })
+    }
+
+    /// Classify every die of a tested wafer. Infallible: the fallible
+    /// preparation already happened in [`SalvageScreen::new`].
+    #[must_use]
+    pub fn analyze(&self, run: &WaferRun) -> SalvageAnalysis {
+        // One work unit per die: classification is a pure function of
+        // the die's outcome and variation, so dies screen in parallel
+        // and merge back in wafer-site order bit-for-bit identical to a
+        // serial pass.
+        let classes = flexshard::map_indexed(run.outcomes.len(), self.config.threads, |i| {
+            classify_die(
+                &run.outcomes[i],
+                &run.variations[i],
+                &self.prepared,
+                &self.config,
+            )
+        });
+        SalvageAnalysis {
+            classes,
+            in_inclusion: run.sites.iter().map(|s| s.in_inclusion_zone()).collect(),
+            design: self.design,
+        }
+    }
+}
+
+/// Classify every die of a tested wafer (one-shot form of
+/// [`SalvageScreen`]).
 ///
 /// # Errors
 ///
@@ -172,30 +240,7 @@ pub fn analyze(
     design: CoreDesign,
     config: &SalvageConfig,
 ) -> Result<SalvageAnalysis, RunError> {
-    let target = target_for(design);
-    let prepared: Vec<PreparedKernel> = Kernel::ALL
-        .iter()
-        .filter(|k| k.supports(target.dialect))
-        .map(|&k| PreparedKernel::new(k, target))
-        .collect::<Result<_, _>>()?;
-    // Fault-free baseline: every kernel must verify clean before any
-    // die is blamed on its defects.
-    for kernel in &prepared {
-        let inputs = Sampler::new(kernel.kernel(), config.seed).draw();
-        kernel.run_with(&inputs, config.budget, &mut NoFaults)?;
-    }
-
-    // One work unit per die: classification is a pure function of the
-    // die's outcome and variation, so dies screen in parallel and merge
-    // back in wafer-site order bit-for-bit identical to a serial pass.
-    let classes = flexshard::map_indexed(run.outcomes.len(), config.threads, |i| {
-        classify_die(&run.outcomes[i], &run.variations[i], &prepared, config)
-    });
-    Ok(SalvageAnalysis {
-        classes,
-        in_inclusion: run.sites.iter().map(|s| s.in_inclusion_zone()).collect(),
-        design,
-    })
+    Ok(SalvageScreen::new(design, *config)?.analyze(run))
 }
 
 fn classify_die(

@@ -248,10 +248,7 @@ impl LinkedExecutor {
         plane: FaultPlane,
     ) -> LinkRun {
         if let Some(deny) = self.admission {
-            let report = flexcheck::analyze(&self.target, &self.golden);
-            let findings: Vec<flexcheck::Finding> =
-                report.at_least(deny).into_iter().cloned().collect();
-            if !findings.is_empty() {
+            if let Err(findings) = flexcheck::admit(&self.target, &self.golden, deny) {
                 // refuse before programming: no frame reaches the store
                 return LinkRun {
                     admitted: false,

@@ -1,0 +1,304 @@
+//! The content-addressed on-disk reply cache.
+//!
+//! Every cacheable request's *core* bytes (kind + body, no deadline)
+//! hash to a SHA-256 key; the cached value is the encoded reply core
+//! with the provenance flag zeroed. Entries live at
+//! `dir/<key[0..2]>/<key>.bin` as
+//!
+//! ```text
+//! [magic 8B "FXSERV01"][key 32B][payload sha256 32B][len u64be][payload]
+//! ```
+//!
+//! **Crash safety.** Writes go to a temp file in the same directory and
+//! land with an atomic `rename`, so a `kill -9` at any instant leaves
+//! either the old entry, the new entry, or a stray temp file — never a
+//! half-written entry under the real name.
+//!
+//! **Corruption safety.** Reads re-derive both digests and check every
+//! header field. Any mismatch — flipped payload byte, truncated file,
+//! wrong key, stale magic — deletes the entry and reports a miss, and
+//! the caller's recompute-and-store repairs it silently. A corrupt
+//! cache can cost time, never correctness.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flexlink::crypto::{sha256, DIGEST_BYTES};
+
+const MAGIC: &[u8; 8] = b"FXSERV01";
+const HEADER_LEN: usize = 8 + DIGEST_BYTES + DIGEST_BYTES + 8;
+
+/// Monotonic counters describing cache behaviour since startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from a verified entry.
+    pub hits: u64,
+    /// Reads that found no entry (includes repaired corruptions).
+    pub misses: u64,
+    /// Entries that failed verification and were deleted for recompute.
+    pub repairs: u64,
+    /// Entries written (fresh stores and repairs).
+    pub writes: u64,
+}
+
+/// A content-addressed, digest-verified, crash-safe reply cache.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    repairs: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure if the root cannot be
+    /// made.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache key for a request core: its SHA-256.
+    #[must_use]
+    pub fn key_for(core: &[u8]) -> [u8; DIGEST_BYTES] {
+        sha256(core)
+    }
+
+    /// Where an entry for `key` lives on disk.
+    #[must_use]
+    pub fn entry_path(&self, key: &[u8; DIGEST_BYTES]) -> PathBuf {
+        let hex = crate::protocol::hex(key);
+        self.dir.join(&hex[..2]).join(format!("{hex}.bin"))
+    }
+
+    /// Fetch and verify the payload stored under `key`. Returns `None`
+    /// on a clean miss *and* on any verification failure; in the latter
+    /// case the corrupt entry is deleted (counted as a repair) so the
+    /// caller's recompute-and-[`put`](DiskCache::put) heals it.
+    #[must_use]
+    pub fn get(&self, key: &[u8; DIGEST_BYTES]) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let raw = match fs::read(&path) {
+            Ok(raw) => raw,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match verify_entry(&raw, key) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                // Corrupt: delete so a fresh put repairs it. Removal
+                // failure is tolerable — the next read re-verifies.
+                let _ = fs::remove_file(&path);
+                self.repairs.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `payload` under `key` atomically (temp file + rename).
+    /// Errors are swallowed: the cache is an accelerator, and a failed
+    /// write merely costs the next request a recompute.
+    pub fn put(&self, key: &[u8; DIGEST_BYTES], payload: &[u8]) {
+        if self.try_put(key, payload).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_put(&self, key: &[u8; DIGEST_BYTES], payload: &[u8]) -> std::io::Result<()> {
+        let path = self.entry_path(key);
+        let parent = path.parent().unwrap_or(&self.dir);
+        fs::create_dir_all(parent)?;
+        let tmp = parent.join(format!(
+            "tmp-{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(key)?;
+            f.write_all(&sha256(payload))?;
+            f.write_all(&(payload.len() as u64).to_be_bytes())?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Snapshot the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The cache root.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn verify_entry(raw: &[u8], key: &[u8; DIGEST_BYTES]) -> Option<Vec<u8>> {
+    if raw.len() < HEADER_LEN || &raw[..8] != MAGIC {
+        return None;
+    }
+    let stored_key = &raw[8..8 + DIGEST_BYTES];
+    if stored_key != key {
+        return None;
+    }
+    let digest_at = 8 + DIGEST_BYTES;
+    let len_at = digest_at + DIGEST_BYTES;
+    let stored_digest = &raw[digest_at..len_at];
+    let mut len8 = [0u8; 8];
+    len8.copy_from_slice(&raw[len_at..len_at + 8]);
+    let len = u64::from_be_bytes(len8) as usize;
+    let payload = &raw[HEADER_LEN..];
+    if payload.len() != len {
+        return None;
+    }
+    if sha256(payload) != *stored_digest.first_chunk::<DIGEST_BYTES>()? {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+// `first_chunk` needs the slice to be at least DIGEST_BYTES long; the
+// header-length check above guarantees that, but going through the
+// Option keeps the function panic-free by construction.
+
+/// Read an entry's raw on-disk bytes (test and inspection helper).
+///
+/// # Errors
+///
+/// Propagates the underlying `fs::read` failure.
+pub fn read_raw_entry(cache: &DiskCache, key: &[u8; DIGEST_BYTES]) -> std::io::Result<Vec<u8>> {
+    let mut raw = Vec::new();
+    fs::File::open(cache.entry_path(key))?.read_to_end(&mut raw)?;
+    Ok(raw)
+}
+
+/// Overwrite an entry's raw on-disk bytes in place (test helper for
+/// simulating torn writes and bit rot).
+///
+/// # Errors
+///
+/// Propagates the underlying `fs::write` failure.
+pub fn write_raw_entry(
+    cache: &DiskCache,
+    key: &[u8; DIGEST_BYTES],
+    raw: &[u8],
+) -> std::io::Result<()> {
+    fs::write(cache.entry_path(key), raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flexserve-cache-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_counters() {
+        let cache = DiskCache::open(scratch("roundtrip")).unwrap();
+        let key = DiskCache::key_for(b"request");
+        assert_eq!(cache.get(&key), None);
+        cache.put(&key, b"reply bytes");
+        assert_eq!(cache.get(&key), Some(b"reply bytes".to_vec()));
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.repairs, stats.writes),
+            (1, 1, 0, 1)
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_repaired_as_a_miss() {
+        let cache = DiskCache::open(scratch("flippay")).unwrap();
+        let key = DiskCache::key_for(b"victim");
+        cache.put(&key, b"precious artifact");
+        let mut raw = read_raw_entry(&cache, &key).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x40;
+        write_raw_entry(&cache, &key, &raw).unwrap();
+        assert_eq!(cache.get(&key), None, "corrupt entry must read as miss");
+        assert_eq!(cache.stats().repairs, 1);
+        assert!(
+            !cache.entry_path(&key).exists(),
+            "corrupt entry must be deleted for repair"
+        );
+        cache.put(&key, b"precious artifact");
+        assert_eq!(cache.get(&key), Some(b"precious artifact".to_vec()));
+    }
+
+    #[test]
+    fn flipped_header_byte_is_repaired_as_a_miss() {
+        let cache = DiskCache::open(scratch("fliphdr")).unwrap();
+        let key = DiskCache::key_for(b"victim2");
+        cache.put(&key, b"metadata matters");
+        let mut raw = read_raw_entry(&cache, &key).unwrap();
+        raw[12] ^= 0x01; // inside the stored key
+        write_raw_entry(&cache, &key, &raw).unwrap();
+        assert_eq!(cache.get(&key), None);
+        assert_eq!(cache.stats().repairs, 1);
+    }
+
+    #[test]
+    fn truncated_entry_is_repaired_as_a_miss() {
+        let cache = DiskCache::open(scratch("trunc")).unwrap();
+        let key = DiskCache::key_for(b"victim3");
+        cache.put(&key, b"will be torn");
+        let raw = read_raw_entry(&cache, &key).unwrap();
+        write_raw_entry(&cache, &key, &raw[..raw.len() / 2]).unwrap();
+        assert_eq!(cache.get(&key), None);
+        assert_eq!(cache.stats().repairs, 1);
+    }
+
+    #[test]
+    fn empty_and_garbage_files_are_misses_not_panics() {
+        let cache = DiskCache::open(scratch("garbage")).unwrap();
+        let key = DiskCache::key_for(b"victim4");
+        fs::create_dir_all(cache.entry_path(&key).parent().unwrap()).unwrap();
+        fs::write(cache.entry_path(&key), b"").unwrap();
+        assert_eq!(cache.get(&key), None);
+        fs::write(cache.entry_path(&key), b"short").unwrap();
+        assert_eq!(cache.get(&key), None);
+    }
+}

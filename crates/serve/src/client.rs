@@ -1,0 +1,78 @@
+//! A blocking client for the daemon's framed protocol — the library
+//! behind `flexi client`, the CI smoke stage and the soak tests.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    decode_reply, encode_request, read_frame, write_frame, FrameError, Reply, Request,
+};
+
+/// A connected client. One request/reply in flight at a time (the
+/// protocol is strictly request-response per connection; parallelism
+/// comes from more connections or from `Batch`).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Relative deadline attached to every request (`0` = use the
+    /// daemon's default).
+    pub deadline_ms: u64,
+}
+
+/// A client-side failure: connection trouble or a malformed reply. The
+/// daemon's own verdicts (shed, protocol error, deadline) arrive as
+/// normal [`Reply`] values, not as this error.
+#[derive(Debug)]
+pub struct ClientError(String);
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "client error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl Client {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the address does not resolve or connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError(e.to_string()))?
+            .next()
+            .ok_or_else(|| ClientError("address resolved to nothing".to_string()))?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+            .map_err(|e| ClientError(e.to_string()))?;
+        // Request-response framing sends many small writes; Nagle's
+        // algorithm would serialize them against delayed ACKs.
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            deadline_ms: 0,
+        })
+    }
+
+    /// Send one request and block for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on stream trouble or an undecodable reply. A
+    /// connection the daemon sheds (connection cap) surfaces as the
+    /// shed reply to the first call.
+    pub fn call(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let payload = encode_request(self.deadline_ms, request);
+        write_frame(&mut self.stream, &payload).map_err(|e| ClientError(e.to_string()))?;
+        let frame = match read_frame(&mut self.stream) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => {
+                return Err(ClientError("daemon closed the connection".to_string()))
+            }
+            Err(e) => return Err(ClientError(e.to_string())),
+        };
+        decode_reply(&frame).map_err(|e| ClientError(e.to_string()))
+    }
+}

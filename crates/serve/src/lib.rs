@@ -1,0 +1,60 @@
+//! flexserve — the crash-safe, backpressured, content-addressed
+//! toolchain daemon.
+//!
+//! Every toolchain operation the FlexiCores workflow repeats — assemble
+//! a kernel, run the `flexcheck` analyzer, apply the field link's
+//! admission gate, simulate with scripted inputs, screen a seeded
+//! virtual wafer — is a *pure function of its inputs*: the toolchain is
+//! seed-deterministic end to end. `flexi serve` exploits that by
+//! putting those operations behind a persistent daemon with an exact
+//! content-addressed cache: requests hash to SHA-256 keys over their
+//! canonical wire encoding, replies are memoized on disk, and a repeat
+//! request is a disk read instead of a wafer re-screen.
+//!
+//! The service layer is built for hostile weather, in the same spirit
+//! as the field-reprogramming link (DESIGN.md §11) and the in-field
+//! health manager (§13):
+//!
+//! * per-request **panic isolation** — a poisoned request gets an error
+//!   reply, never a dead daemon ([`server`]);
+//! * **bounded queues** with explicit load-shed replies instead of
+//!   unbounded buffering ([`server`]);
+//! * per-request **deadlines** with cancellation polls inside long
+//!   campaigns ([`engine`]);
+//! * **digest-verified cache reads** with silent recompute-and-repair,
+//!   and atomic temp-file + rename writes so `kill -9` can never
+//!   poison the cache ([`cache`]);
+//! * **graceful drain** that finishes in-flight work before exit
+//!   ([`server`]);
+//! * a **status** request exposing queue depth and every robustness
+//!   counter ([`server::StatusSnapshot`]).
+//!
+//! ```no_run
+//! use flexserve::{serve, Client, Request, ServeConfig};
+//!
+//! let handle = serve(ServeConfig::default())?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let reply = client.call(&Request::Assemble {
+//!     dialect: "fc4".into(),
+//!     features: String::new(),
+//!     source: "load r0\naddi 3\nstore r1\nhalt\n".into(),
+//! })?;
+//! assert!(!reply.data.is_empty(), "{}", reply.text);
+//! handle.drain();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, DiskCache};
+pub use client::{Client, ClientError};
+pub use engine::{Deadline, Engine};
+pub use protocol::{reply_digest, Reply, ReplyStatus, Request};
+pub use server::{drain_on_stdin_eof, serve, ServeConfig, ServerHandle, StatusSnapshot};

@@ -1,0 +1,143 @@
+//! Cache-integrity acceptance: corrupting cached artifacts on disk —
+//! payload bytes, metadata header fields, truncation — must never
+//! change what the daemon answers. A corrupt entry is detected by the
+//! digest check, silently recomputed and repaired, and the reply is
+//! byte-identical to a cold miss.
+
+use flexserve::cache::{read_raw_entry, write_raw_entry, DiskCache};
+use flexserve::protocol::{encode_core, encode_reply_core};
+use flexserve::{serve, Client, Reply, ReplyStatus, Request, ServeConfig};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("flexserve-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(name: &str) -> (flexserve::ServerHandle, Client, DiskCache) {
+    let dir = scratch(name);
+    let handle = serve(ServeConfig {
+        workers: 2,
+        queue_depth: 32,
+        max_connections: 8,
+        cache_dir: dir.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("daemon binds");
+    let client = Client::connect(handle.addr()).expect("client connects");
+    // A second cache view onto the same directory lets the test reach
+    // in and corrupt entries the daemon wrote.
+    let cache = DiskCache::open(dir).expect("cache opens");
+    (handle, client, cache)
+}
+
+fn assemble_req() -> Request {
+    Request::Assemble {
+        dialect: "fc4".to_string(),
+        features: String::new(),
+        source: "load r0\naddi 3\nstore r1\nhalt\n".to_string(),
+    }
+}
+
+/// Strip provenance for byte-identity comparison: a repaired reply is
+/// `cached: false` (it was recomputed), a hit is `cached: true`; the
+/// *content* must match exactly either way.
+fn canon(reply: &Reply) -> Vec<u8> {
+    let mut canon = reply.clone();
+    canon.cached = false;
+    encode_reply_core(&canon)
+}
+
+#[test]
+fn flipped_artifact_byte_triggers_silent_recompute_and_repair() {
+    let (handle, mut client, cache) = start("flip-artifact");
+    let request = assemble_req();
+    let key = DiskCache::key_for(&encode_core(&request));
+
+    let cold = client.call(&request).expect("cold call");
+    assert_eq!(cold.status, ReplyStatus::Ok, "{}", cold.text);
+    assert!(!cold.cached);
+
+    // Flip a byte deep in the cached payload (the program image).
+    let mut raw = read_raw_entry(&cache, &key).expect("entry exists after cold miss");
+    let victim = raw.len() - 3;
+    raw[victim] ^= 0x55;
+    write_raw_entry(&cache, &key, &raw).expect("corruption lands");
+
+    let repaired = client.call(&request).expect("repaired call");
+    assert!(
+        !repaired.cached,
+        "a corrupt entry must be recomputed, not served"
+    );
+    assert_eq!(
+        canon(&repaired),
+        canon(&cold),
+        "repair must be byte-identical"
+    );
+
+    // The repair wrote a fresh entry: the next call is a clean hit.
+    let warm = client.call(&request).expect("warm call");
+    assert!(warm.cached, "repaired entry must serve the next hit");
+    assert_eq!(canon(&warm), canon(&cold));
+
+    let stats = handle.stats();
+    assert_eq!(stats.cache.repairs, 1, "exactly one repair recorded");
+    handle.drain();
+}
+
+#[test]
+fn flipped_metadata_byte_triggers_silent_recompute_and_repair() {
+    let (handle, mut client, cache) = start("flip-metadata");
+    let request = assemble_req();
+    let key = DiskCache::key_for(&encode_core(&request));
+
+    let cold = client.call(&request).expect("cold call");
+    assert_eq!(cold.status, ReplyStatus::Ok);
+
+    // Flip a byte inside the entry *header* (the stored payload digest),
+    // leaving the payload untouched: metadata corruption must be caught
+    // exactly like payload corruption.
+    let mut raw = read_raw_entry(&cache, &key).expect("entry exists");
+    raw[8 + 32 + 5] ^= 0x01;
+    write_raw_entry(&cache, &key, &raw).expect("corruption lands");
+
+    let repaired = client.call(&request).expect("repaired call");
+    assert!(!repaired.cached);
+    assert_eq!(canon(&repaired), canon(&cold));
+    assert_eq!(handle.stats().cache.repairs, 1);
+    handle.drain();
+}
+
+#[test]
+fn truncated_entry_behaves_like_a_torn_write() {
+    let (handle, mut client, cache) = start("truncate");
+    let request = assemble_req();
+    let key = DiskCache::key_for(&encode_core(&request));
+
+    let cold = client.call(&request).expect("cold call");
+    let raw = read_raw_entry(&cache, &key).expect("entry exists");
+    write_raw_entry(&cache, &key, &raw[..raw.len() / 3]).expect("tear lands");
+
+    let repaired = client.call(&request).expect("repaired call");
+    assert!(!repaired.cached);
+    assert_eq!(canon(&repaired), canon(&cold));
+    handle.drain();
+}
+
+#[test]
+fn deterministic_error_replies_are_cached_too() {
+    let (handle, mut client, _cache) = start("error-cache");
+    let request = Request::Assemble {
+        dialect: "fc4".to_string(),
+        features: String::new(),
+        source: "this is not assembly\n".to_string(),
+    };
+    let cold = client.call(&request).expect("cold call");
+    assert_eq!(cold.status, ReplyStatus::Error);
+    assert!(!cold.cached);
+    let warm = client.call(&request).expect("warm call");
+    assert_eq!(warm.status, ReplyStatus::Error);
+    assert!(warm.cached, "a deterministic verdict is a verdict");
+    assert_eq!(canon(&warm), canon(&cold));
+    handle.drain();
+}

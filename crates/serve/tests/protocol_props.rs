@@ -1,0 +1,174 @@
+//! Property tests for the daemon's wire codec: the protocol layer must
+//! be panic-free and non-hanging for *any* byte sequence a hostile or
+//! broken client can send. A panic here would take a connection thread
+//! down with a request unreplied; a hang would wedge it forever. Both
+//! are protocol-error replies in the real daemon, so both are plain
+//! `Err` values here.
+
+use flexserve::protocol::{
+    decode_batch_data, decode_core, decode_reply, decode_request, encode_core, encode_reply,
+    encode_request, read_frame, FrameError, Reply, ReplyStatus, Request, MAX_FRAME,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A generated structured request covering every cacheable kind.
+fn arb_request(
+    kind: u8,
+    dialect: String,
+    features: String,
+    source: String,
+    blob: Vec<u8>,
+    n: u64,
+    flag: bool,
+) -> Request {
+    match kind % 5 {
+        0 => Request::Assemble {
+            dialect,
+            features,
+            source,
+        },
+        1 => Request::Check {
+            dialect,
+            features,
+            source,
+            deny: (n % 3) as u8,
+        },
+        2 => Request::Admit {
+            dialect,
+            features,
+            source,
+            deny: (n % 3) as u8,
+        },
+        3 => Request::Simulate {
+            dialect,
+            features,
+            source,
+            inputs: blob,
+            max_cycles: n,
+        },
+        _ => Request::Yield {
+            design: dialect,
+            voltage_mv: n,
+            seed: n.rotate_left(17),
+            cycles: n % 10_000,
+            salvage: flag,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Arbitrary payload bytes decode to a value or an error — never a
+    /// panic. (The harness itself fails the test on any panic.)
+    #[test]
+    fn arbitrary_bytes_never_panic_the_request_decoder(payload in vec(any::<u8>(), 0..512)) {
+        let _ = decode_request(&payload);
+        let _ = decode_core(&payload);
+        let _ = decode_reply(&payload);
+        let _ = decode_batch_data(&payload);
+    }
+
+    /// Every structured request round-trips bit-exact through the full
+    /// payload codec, and its core is a strict suffix of the payload
+    /// (the property the cache key depends on).
+    #[test]
+    fn structured_requests_roundtrip(
+        kind in any::<u8>(),
+        dialect in "[a-z0-9]{0,8}",
+        features in "[a-z,]{0,12}",
+        source in "[ -~\n]{0,64}",
+        blob in vec(any::<u8>(), 0..32),
+        n in 1u64..1_000_000,
+        flag in any::<bool>(),
+        deadline in any::<u64>(),
+    ) {
+        let request = arb_request(kind, dialect, features, source, blob, n, flag);
+        let payload = encode_request(deadline, &request);
+        let envelope = decode_request(&payload).expect("own encoding must decode");
+        prop_assert_eq!(envelope.deadline_ms, deadline);
+        prop_assert_eq!(&envelope.request, &request);
+        let core = encode_core(&request);
+        prop_assert!(payload.ends_with(&core));
+        prop_assert_eq!(decode_core(&core).expect("core decodes"), request);
+    }
+
+    /// Truncating a valid payload at any point is an error, never a
+    /// panic — no length field can make the reader run off the end.
+    #[test]
+    fn any_truncation_of_a_valid_request_errors(
+        kind in any::<u8>(),
+        source in "[ -~\n]{0,48}",
+        cut_seed in any::<u64>(),
+    ) {
+        let request = arb_request(kind, "fc4".into(), String::new(), source, vec![1, 2], 99, false);
+        let payload = encode_request(7, &request);
+        let cut = (cut_seed as usize) % payload.len().max(1);
+        prop_assert!(decode_request(&payload[..cut]).is_err());
+    }
+
+    /// Flipping any single byte of a valid payload either still decodes
+    /// (to possibly different fields) or errors — never panics, and a
+    /// surviving decode re-encodes within the frame cap.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        source in "[ -~\n]{0,48}",
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let request = arb_request(3, "fc4".into(), String::new(), source, vec![7], 500, true);
+        let mut payload = encode_request(3, &request);
+        let pos = (pos_seed as usize) % payload.len();
+        payload[pos] ^= xor;
+        if let Ok(envelope) = decode_request(&payload) {
+            let re = encode_request(envelope.deadline_ms, &envelope.request);
+            prop_assert!(re.len() <= MAX_FRAME);
+        }
+    }
+
+    /// The frame reader rejects any advertised length beyond the cap
+    /// without reading (or allocating) the body, and errors — without
+    /// hanging — on any truncated body.
+    #[test]
+    fn frame_reader_bounds_every_length(
+        len in (MAX_FRAME as u32 + 1)..=u32::MAX,
+        body in vec(any::<u8>(), 0..64),
+    ) {
+        let mut oversized = len.to_be_bytes().to_vec();
+        oversized.extend_from_slice(&body);
+        let mut cursor = std::io::Cursor::new(oversized);
+        prop_assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge(_))));
+
+        // a header promising more than the stream holds must error out
+        let promised = (body.len() as u32) + 1;
+        let mut truncated = promised.to_be_bytes().to_vec();
+        truncated.extend_from_slice(&body);
+        let mut cursor = std::io::Cursor::new(truncated);
+        prop_assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    /// Replies round-trip for every status/flag/text/data combination.
+    #[test]
+    fn replies_roundtrip(
+        status in 0u8..5,
+        cached in any::<bool>(),
+        text in "[ -~\n]{0,64}",
+        data in vec(any::<u8>(), 0..64),
+    ) {
+        let reply = Reply {
+            status: match status {
+                0 => ReplyStatus::Ok,
+                1 => ReplyStatus::Error,
+                2 => ReplyStatus::Shed,
+                3 => ReplyStatus::Protocol,
+                _ => ReplyStatus::Deadline,
+            },
+            cached,
+            text,
+            data,
+        };
+        let payload = encode_reply(&reply);
+        prop_assert_eq!(decode_reply(&payload).expect("own encoding decodes"), reply);
+    }
+}
