@@ -63,6 +63,23 @@ for target in fc4 fc8 xacc xls; do
 done
 ./target/release/flexi check --campaign 25 --seed 1 | tail -2
 
+echo "== vuln gate =="
+# static fault-vulnerability analysis: the per-dialect kernel-suite
+# classification must be deterministic (printed digest compared across
+# two runs), and the differential masking campaign re-injects every
+# provably-masked site through the real engine — any observable
+# divergence exits nonzero
+for target in fc4 fc8 xacc xls; do
+    ./target/release/flexi check --kernels --vuln --target "$target" \
+        --features revised > /tmp/flexi_vuln_a.txt
+    ./target/release/flexi check --kernels --vuln --target "$target" \
+        --features revised > /tmp/flexi_vuln_b.txt
+    cmp /tmp/flexi_vuln_a.txt /tmp/flexi_vuln_b.txt
+    grep -q "suite vuln digest 0x" /tmp/flexi_vuln_a.txt
+done
+rm -f /tmp/flexi_vuln_a.txt /tmp/flexi_vuln_b.txt
+cargo test --release --offline -p flexcheck -q vuln_smoke_campaign
+
 echo "== serve smoke =="
 # crash-safety gate for the toolchain daemon: batch twice (the second
 # run must be all cache hits with the same reply digest), kill -9 the
@@ -132,7 +149,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p flexbench
 
 echo "== cargo clippy =="
-cargo clippy --offline --workspace --all-targets -- -D warnings
+# -D warnings plus the pedantic subset this workspace has adopted
+# wholesale: pass-by-value that forces callers to clone, redundant
+# clones, and expression-valued statements missing their semicolon
+cargo clippy --offline --workspace --all-targets -- -D warnings \
+    -D clippy::needless_pass_by_value \
+    -D clippy::redundant_clone \
+    -D clippy::semicolon_if_nothing_returned
 
 echo "== cargo fmt --check =="
 cargo fmt --check

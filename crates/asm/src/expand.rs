@@ -432,7 +432,7 @@ impl Ctx {
                 Dialect::Fc4 => self.emit(MachineInsn::Fc4(fc4::Instruction::NandImm { imm: 0 })),
                 Dialect::Fc8 => self.emit(MachineInsn::Fc8(fc8::Instruction::NandImm { imm: 0 })),
                 Dialect::ExtendedAcc => {
-                    self.emit(MachineInsn::Xacc(xacc::Instruction::NandImm { imm: 0 }))
+                    self.emit(MachineInsn::Xacc(xacc::Instruction::NandImm { imm: 0 }));
                 }
                 Dialect::LoadStore => unreachable!(),
             }
@@ -945,13 +945,13 @@ impl Ctx {
                     // ACC must be negative for the spin branch to take
                     match self.target.dialect {
                         Dialect::Fc4 => {
-                            self.emit(MachineInsn::Fc4(fc4::Instruction::NandImm { imm: 0 }))
+                            self.emit(MachineInsn::Fc4(fc4::Instruction::NandImm { imm: 0 }));
                         }
                         Dialect::Fc8 => {
-                            self.emit(MachineInsn::Fc8(fc8::Instruction::NandImm { imm: 0 }))
+                            self.emit(MachineInsn::Fc8(fc8::Instruction::NandImm { imm: 0 }));
                         }
                         Dialect::ExtendedAcc => {
-                            self.emit(MachineInsn::Xacc(xacc::Instruction::NandImm { imm: 0 }))
+                            self.emit(MachineInsn::Xacc(xacc::Instruction::NandImm { imm: 0 }));
                         }
                         Dialect::LoadStore => unreachable!(),
                     }

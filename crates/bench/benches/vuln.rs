@@ -1,0 +1,69 @@
+//! What does static fault-vulnerability analysis cost, and what does
+//! its campaign pruning buy?
+//!
+//! Two groups: raw `flexcheck::vuln::analyze` throughput over the
+//! kernel suite (the price a build pays to get a report at all), and a
+//! full injection campaign on the parity kernel with and without
+//! pruning — the difference is the simulation work the analyzer's
+//! masking proofs delete (EXPERIMENTS.md records ~32% of site-runs
+//! across the suite).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexasm::Target;
+use flexinject::campaign::{run_campaign, run_campaign_pruned, CampaignConfig, FaultModel};
+use flexkernels::harness::PreparedKernel;
+use flexkernels::Kernel;
+
+fn all_targets() -> [Target; 4] {
+    [
+        Target::fc4(),
+        Target::fc8(),
+        Target::xacc_revised(),
+        Target::xls_revised(),
+    ]
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vuln_analyze");
+    for target in all_targets() {
+        let programs: Vec<_> = Kernel::ALL
+            .into_iter()
+            .filter(|k| k.supports(target.dialect))
+            .map(|k| PreparedKernel::new(k, target).expect("kernel assembles"))
+            .collect();
+        group.bench_function(&format!("kernel_suite_{:?}", target.dialect), |b| {
+            b.iter(|| {
+                programs
+                    .iter()
+                    .map(|p| flexcheck::vuln::analyze(&target, p.program()).masked_sites())
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruned_campaign(c: &mut Criterion) {
+    let target = Target::fc4();
+    let kernel = Kernel::ParityCheck;
+    let report = {
+        let prepared = PreparedKernel::new(kernel, target).expect("kernel assembles");
+        flexcheck::vuln::analyze(&target, prepared.program())
+    };
+    let cfg = CampaignConfig {
+        budget: 20_000,
+        model: FaultModel::Mixed,
+        ..CampaignConfig::new(target, kernel, 64, 0xBE_5E)
+    };
+    let mut group = c.benchmark_group("vuln_campaign");
+    group.bench_function("unpruned", |b| {
+        b.iter(|| run_campaign(cfg).expect("campaign"));
+    });
+    group.bench_function("pruned", |b| {
+        b.iter(|| run_campaign_pruned(cfg, Some(&report)).expect("campaign"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze, bench_pruned_campaign);
+criterion_main!(benches);

@@ -18,27 +18,38 @@ use crate::report::{CheckReport, Finding, Lint};
 use crate::sem::{fetch_address, transfer, AbsState, Crash, StepOut, PC_MASK};
 
 /// `16 pages * 128 PCs`: the whole page-extended node space.
-const NODE_SPACE: usize = 16 * 128;
+pub(crate) const NODE_SPACE: usize = 16 * 128;
 
-struct Analysis<'a> {
+/// The converged dataflow fixpoint, shared between [`analyze`] and the
+/// vulnerability classification in [`crate::vuln`].
+pub(crate) struct Analysis<'a> {
     target: &'a Target,
     program: &'a Program,
-    states: Vec<Option<AbsState>>,
+    /// Converged abstract state per page-extended node (`None` =
+    /// unreachable).
+    pub(crate) states: Vec<Option<AbsState>>,
     worklist: VecDeque<u32>,
     queued: Vec<bool>,
     /// Possible `RET` targets: power-on RA plus every reachable call's
     /// return address.
-    ra_set: BTreeSet<u8>,
+    pub(crate) ra_set: BTreeSet<u8>,
     /// Nodes whose `RET` has an unknown return address; re-run when
     /// `ra_set` grows.
     ret_nodes: BTreeSet<u32>,
-    /// First node at which a page commit with a non-constant page value
-    /// was seen (the analysis is no longer exact past that point).
-    imprecise_at: Option<u32>,
+    /// First node at which the fixpoint had to give up (fuel backstop,
+    /// or an internal invariant degraded on a hostile image). A
+    /// non-constant page commit does *not* land here: it fans out to
+    /// every in-image page instead, keeping the result a sound
+    /// over-approximation.
+    pub(crate) imprecise_at: Option<u32>,
+    /// Nodes where a page commit carried a non-constant page number
+    /// while off-image pages exist: for some input the concrete machine
+    /// raises `PageOutOfRange` here.
+    pub(crate) wild_commits: BTreeSet<u32>,
 }
 
 impl<'a> Analysis<'a> {
-    fn new(target: &'a Target, program: &'a Program) -> Self {
+    pub(crate) fn new(target: &'a Target, program: &'a Program) -> Self {
         Analysis {
             target,
             program,
@@ -48,7 +59,14 @@ impl<'a> Analysis<'a> {
             ra_set: BTreeSet::from([0]),
             ret_nodes: BTreeSet::new(),
             imprecise_at: None,
+            wild_commits: BTreeSet::new(),
         }
+    }
+
+    /// Pages with at least one image byte — the only pages a commit can
+    /// land on without crashing.
+    fn in_image_pages(&self) -> u32 {
+        (self.program.len().div_ceil(128)).min(16) as u32
     }
 
     fn enqueue(&mut self, ext: u32, state: &AbsState) {
@@ -83,13 +101,27 @@ impl<'a> Analysis<'a> {
                     self.enqueue((u32::from(q & 0xF) << 7) | u32::from(next_pc), &s);
                 }
                 AbsVal::Top => {
-                    self.imprecise_at.get_or_insert(from);
+                    // A commit with an unknown page number lands on *some*
+                    // page; fan out to every page that holds image bytes
+                    // instead of giving up, keeping the analysis a sound
+                    // over-approximation. A commit to an off-image page
+                    // crashes before fetching anything, so those pages
+                    // contribute no reachability — they surface as one
+                    // WildPageCommit warning at the committing node.
+                    let mut s = state.clone();
+                    s.mmu = after;
+                    for q in 0..self.in_image_pages() {
+                        self.enqueue((q << 7) | u32::from(next_pc), &s);
+                    }
+                    if self.in_image_pages() < 16 {
+                        self.wild_commits.insert(from);
+                    }
                 }
             }
         }
     }
 
-    fn run(&mut self) {
+    pub(crate) fn run(&mut self) {
         self.enqueue(0, &AbsState::poweron(self.target.dialect));
         // the lattice is finite-height and joins are monotone, so this
         // terminates; the cap is a defensive backstop only
@@ -101,9 +133,13 @@ impl<'a> Analysis<'a> {
                 self.imprecise_at.get_or_insert(ext);
                 break;
             }
-            let state = self.states[ext as usize]
-                .clone()
-                .expect("worklist nodes have states");
+            // enqueue() always stores a state before queueing a node,
+            // but a hostile image must degrade to "imprecise", never
+            // panic the analyzer
+            let Some(state) = self.states[ext as usize].clone() else {
+                self.imprecise_at.get_or_insert(ext);
+                continue;
+            };
             let Ok(out) = transfer(self.target, self.program, ext, &state) else {
                 continue; // crash: terminal, reported in the final pass
             };
@@ -144,8 +180,17 @@ impl<'a> Analysis<'a> {
             if outcomes.stay.is_some() {
                 next.push((u32::from(page) << 7) | u32::from(next_pc));
             }
-            if let Some((AbsVal::Const(q), _)) = outcomes.commit {
-                next.push((u32::from(q & 0xF) << 7) | u32::from(next_pc));
+            match outcomes.commit {
+                Some((AbsVal::Const(q), _)) => {
+                    next.push((u32::from(q & 0xF) << 7) | u32::from(next_pc));
+                }
+                Some((AbsVal::Top, _)) => {
+                    // mirror the fixpoint's in-image-pages fan-out
+                    for q in 0..self.in_image_pages() {
+                        next.push((q << 7) | u32::from(next_pc));
+                    }
+                }
+                None => {}
             }
         };
         for (next_pc, s) in &out.succs {
@@ -338,6 +383,17 @@ pub fn analyze(target: &Target, program: &Program) -> CheckReport {
         }
     }
 
+    for &node in &a.wild_commits {
+        push(
+            &mut findings,
+            Lint::WildPageCommit,
+            fetch_address(dialect, node),
+            "a page commit with a data-dependent page number may land beyond \
+             the image for some input"
+                .to_string(),
+        );
+    }
+
     let (cycle_bound, instruction_bound) = if exact {
         (
             longest_path(&edges, &cycle_w),
@@ -383,8 +439,8 @@ pub fn analyze(target: &Target, program: &Program) -> CheckReport {
             &mut findings,
             Lint::Imprecise,
             fetch_address(dialect, at),
-            "a page change with a non-constant page number defeated the MMU \
-             analysis; reachability-based lints are suppressed"
+            "the dataflow fixpoint gave up before converging; \
+             reachability-based lints are suppressed"
                 .to_string(),
         );
     }

@@ -43,6 +43,7 @@ pub mod cfg;
 pub mod report;
 pub mod sem;
 pub mod soundness;
+pub mod vuln;
 
 use flexasm::Assembly;
 use flexasm::Target;

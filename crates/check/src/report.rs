@@ -74,9 +74,14 @@ pub enum Lint {
     PageStraddle,
     /// Bytes no reachable instruction covers (dead code or data).
     Unreachable,
-    /// The abstract interpretation lost MMU precision (a page change
-    /// with a non-constant page number); reachability-based lints are
-    /// suppressed.
+    /// A page change commits a data-dependent page number: for *some*
+    /// input the committed page may lie beyond the image and the next
+    /// step raises `PageOutOfRange`. Warning, not error — unlike
+    /// [`Lint::PageOutOfImage`] the bad page is input-chosen, not
+    /// hard-coded.
+    WildPageCommit,
+    /// The abstract interpretation gave up before converging;
+    /// reachability-based lints are suppressed.
     Imprecise,
 }
 
@@ -90,7 +95,9 @@ impl Lint {
             | Lint::OffImageFetch
             | Lint::PageOutOfImage
             | Lint::StaticHang => Severity::Error,
-            Lint::UninitRead | Lint::EscapeArming | Lint::PageStraddle => Severity::Warning,
+            Lint::UninitRead | Lint::EscapeArming | Lint::PageStraddle | Lint::WildPageCommit => {
+                Severity::Warning
+            }
             Lint::Unreachable | Lint::Imprecise => Severity::Info,
         }
     }
@@ -108,6 +115,7 @@ impl Lint {
             Lint::EscapeArming => "escape-arming",
             Lint::PageStraddle => "page-straddle",
             Lint::Unreachable => "unreachable",
+            Lint::WildPageCommit => "wild-page-commit",
             Lint::Imprecise => "imprecise",
         }
     }

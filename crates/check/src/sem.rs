@@ -113,6 +113,39 @@ pub enum Crash {
     PageOut,
 }
 
+/// Architectural state an instruction may *observe* (DESIGN.md §15).
+///
+/// This is the use side of the vulnerability analysis in
+/// [`crate::vuln`]: an element with no reachable use can carry a stuck
+/// bit without any observable effect, because the fault planes reassert
+/// permanent faults after every retired instruction — "overwritten
+/// before read" is not a defence, only "never read at all" is. Uses are
+/// over-approximated (an instruction that reads a value whose bits
+/// cannot influence its result, like `nandi 0`, still counts), which
+/// only ever moves sites from Provably-Masked to Reachable-Live.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UseSet {
+    /// The accumulator value feeds the datapath or a branch decision.
+    pub acc: bool,
+    /// The input-port *value* is observed (a consumed-but-discarded
+    /// read, like `mov rN, r0`'s datapath read of `rd`, is not a use).
+    pub input: bool,
+    /// The output port is driven.
+    pub output: bool,
+    /// Bit `w` set: data cell / register `w` may be read.
+    pub cells: u8,
+}
+
+impl UseSet {
+    /// Accumulate `other`'s uses into `self`.
+    pub fn merge(&mut self, other: UseSet) {
+        self.acc |= other.acc;
+        self.input |= other.input;
+        self.output |= other.output;
+        self.cells |= other.cells;
+    }
+}
+
 /// The abstract effect of one instruction.
 #[derive(Debug, Clone)]
 pub struct StepOut {
@@ -135,6 +168,17 @@ pub struct StepOut {
     pub may_arm: bool,
     /// The return address a `CALL` records, for the global RA set.
     pub call_ra: Option<u8>,
+    /// Architectural state this instruction may observe.
+    pub uses: UseSet,
+    /// `(cell, value)` for every data-cell read, with the abstract
+    /// value the read returns (⊤ for possibly-uninitialized cells).
+    /// Feeds the constant-bit refinement in [`crate::vuln`].
+    pub cell_reads: Vec<(u8, AbsVal)>,
+    /// Values driven onto the output port.
+    pub output_vals: Vec<AbsVal>,
+    /// Page values that may complete the MMU escape sequence (the value
+    /// the pending-commit latch would hold).
+    pub armed_vals: Vec<AbsVal>,
 }
 
 impl StepOut {
@@ -148,6 +192,10 @@ impl StepOut {
             uninit_reads: Vec::new(),
             may_arm: false,
             call_ra: None,
+            uses: UseSet::default(),
+            cell_reads: Vec::new(),
+            output_vals: Vec::new(),
+            armed_vals: Vec::new(),
         }
     }
 
@@ -229,17 +277,25 @@ fn abs_and(a: AbsVal, b: AbsVal, mask: u8) -> AbsVal {
 
 fn read_cell(state: &AbsState, addr: u8, mask: u8, out: &mut StepOut) -> AbsVal {
     if addr == 0 {
+        out.uses.input = true;
         return AbsVal::Top;
     }
+    // the engine masks nonzero addresses the same way, so aliased
+    // encodings (e.g. fc4 address 8 hitting cell 0) land on the cell
+    // the hardware actually reads
     let cell = addr & mask;
-    if state.uninit & (1 << cell) != 0 {
+    out.uses.cells |= 1 << cell;
+    let value = if state.uninit & (1 << cell) != 0 {
         // power-on SRAM content is unpredictable on real flexible
         // silicon, so an uninitialized read yields ⊤ (the engine's
         // zeroed memory is one admitted concretization)
         out.uninit_reads.push(cell);
-        return AbsVal::Top;
-    }
-    state.vals[usize::from(cell)]
+        AbsVal::Top
+    } else {
+        state.vals[usize::from(cell)]
+    };
+    out.cell_reads.push((cell, value));
+    value
 }
 
 /// Write a data cell; address 1 also drives the output bus (snooped by
@@ -250,8 +306,13 @@ fn write_cell(state: &mut AbsState, addr: u8, mask: u8, value: AbsVal, out: &mut
         state.vals[usize::from(cell)] = value;
         state.uninit &= !(1 << cell);
     }
-    if addr == 1 && state.mmu.observe(value) {
-        out.may_arm = true;
+    if addr == 1 {
+        out.uses.output = true;
+        out.output_vals.push(value);
+        if state.mmu.observe(value) {
+            out.may_arm = true;
+            out.armed_vals.push(value);
+        }
     }
 }
 
@@ -269,6 +330,9 @@ fn transfer_fc4(window: &[u8], pc: u8, state: &AbsState) -> Result<StepOut, Cras
     use fc4::Instruction as I;
     let insn = I::decode(window[0]).map_err(crash_of)?;
     let mut out = StepOut::new(1, 1);
+    // every fc4 instruction but LOAD observes the accumulator (STORE
+    // forwards it, BRANCH tests its sign)
+    out.uses.acc = !matches!(insn, I::Load { .. });
     let mut s = state.clone();
     let seq = pc.wrapping_add(1) & PC_MASK;
     let m4 = |v: u8| v & 0xF;
@@ -311,6 +375,8 @@ fn transfer_fc8(window: &[u8], pc: u8, state: &AbsState) -> Result<StepOut, Cras
     let (insn, len) = I::decode(window).map_err(crash_of)?;
     let len = len as u8;
     let mut out = StepOut::new(len, u64::from(len));
+    // as on fc4, only the accumulator loads ignore the old value
+    out.uses.acc = !matches!(insn, I::Load { .. } | I::LoadByte { .. });
     let mut s = state.clone();
     let seq = pc.wrapping_add(len) & PC_MASK;
     match insn {
@@ -396,6 +462,14 @@ fn transfer_xacc(
     }
     let len = len as u8;
     let mut out = StepOut::new(len, 1);
+    // LOAD overwrites the accumulator, CALL/RET never touch it, and an
+    // always/never branch condition cannot depend on its value; every
+    // other instruction observes it
+    out.uses.acc = match insn {
+        I::Load { .. } | I::Call { .. } | I::Ret => false,
+        I::Br { cond, .. } => !matches!(cond.bits(), 0b000 | 0b111),
+        _ => true,
+    };
     let mut s = state.clone();
     let seq = pc.wrapping_add(len) & PC_MASK;
     let m4 = |v: u8| v & 0xF;

@@ -1,0 +1,69 @@
+//! Property tests: the analyzer is total on hostile images.
+//!
+//! `flexi check` and the daemon's check/vuln requests feed arbitrary
+//! attacker-controlled bytes into [`flexcheck::analyze`]; the analyzer
+//! must classify them (findings, imprecision) — never panic.
+
+use flexasm::Target;
+use flexcheck::vuln::SiteClass;
+use flexicore::Program;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn targets() -> [Target; 4] {
+    [
+        Target::fc4(),
+        Target::fc8(),
+        Target::xacc_revised(),
+        Target::xls_revised(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn analyze_never_panics_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..=300)) {
+        for target in targets() {
+            let program = Program::from_bytes(bytes.clone());
+            let report = flexcheck::analyze(&target, &program);
+            // basic shape invariants, so the result is usable too
+            prop_assert!(report.image_bytes == bytes.len());
+            for f in &report.findings {
+                prop_assert!(f.severity <= flexcheck::Severity::Error);
+            }
+        }
+    }
+
+    #[test]
+    fn vuln_never_panics_and_matches_the_site_universe(bytes in vec(any::<u8>(), 0..=300)) {
+        for target in targets() {
+            let program = Program::from_bytes(bytes.clone());
+            let vuln = flexcheck::vuln::analyze(&target, &program);
+            prop_assert_eq!(
+                vuln.masked_sites() + vuln.live_sites(),
+                vuln.total_sites()
+            );
+            if !vuln.exact {
+                for e in &vuln.elements {
+                    prop_assert_eq!(e.class, SiteClass::Unknown);
+                }
+            }
+            for e in &vuln.elements {
+                let wmask = (1u16 << e.bits) - 1;
+                prop_assert_eq!(u16::from(e.const0_bits) & !wmask, 0);
+                prop_assert_eq!(u16::from(e.const1_bits) & !wmask, 0);
+                // a bit cannot be provably-0 and provably-1 at once
+                prop_assert_eq!(e.const0_bits & e.const1_bits, 0);
+                if e.class != SiteClass::ReachableLive {
+                    prop_assert_eq!((e.const0_bits, e.const1_bits), (0, 0));
+                }
+            }
+            // digest is a pure function of the classification
+            prop_assert_eq!(
+                vuln.digest(),
+                flexcheck::vuln::analyze(&target, &program).digest()
+            );
+        }
+    }
+}

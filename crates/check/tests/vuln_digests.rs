@@ -1,0 +1,48 @@
+//! Seed-stability snapshot: the vulnerability classification of the
+//! kernel suite is pinned per dialect. A change to the lattice, the
+//! enumeration order, the observation set or the polarity refinement
+//! reclassifies sites and shows up here as a digest mismatch — bump the
+//! pinned value only together with a DESIGN.md §15 note saying why the
+//! classification legitimately moved.
+
+use flexasm::Target;
+use flexkernels::harness::PreparedKernel;
+use flexkernels::Kernel;
+
+/// FNV-1a fold of every supported kernel's report digest, in
+/// `Kernel::ALL` order.
+fn suite_digest(target: Target) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for kernel in Kernel::ALL {
+        if !kernel.supports(target.dialect) {
+            continue;
+        }
+        let prepared = PreparedKernel::new(kernel, target).expect("kernel assembles");
+        let report = flexcheck::vuln::analyze(&target, prepared.program());
+        assert!(
+            report.exact,
+            "{:?} {kernel}: kernel analysis stays exact",
+            target.dialect
+        );
+        hash ^= report.digest();
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[test]
+fn kernel_suite_digests_are_pinned() {
+    for (target, expected) in [
+        (Target::fc4(), 0x38d26ef6d8d60d22),
+        (Target::fc8(), 0xc75fb23d9d09a79a),
+        (Target::xacc_revised(), 0x1a14e3ce082fa7c9),
+        (Target::xls_revised(), 0x41a101074ab5eb4a),
+    ] {
+        let got = suite_digest(target);
+        assert_eq!(
+            got, expected,
+            "{:?}: suite digest drifted — pin {got:#018x}",
+            target.dialect
+        );
+    }
+}

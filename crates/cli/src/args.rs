@@ -63,7 +63,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["listing", "trace", "signed", "salvage"];
+const BOOLEAN_FLAGS: &[&str] = &["listing", "trace", "signed", "salvage", "vuln", "kernels"];
 
 impl Args {
     /// Parse raw arguments.

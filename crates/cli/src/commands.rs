@@ -33,7 +33,7 @@ flexi — FlexiCores toolbox (ISCA 2022 reproduction)
 commands:
   asm     <file.s> [--target T] [--features F,..] [--out prog.bin] [--listing]
   check   <file.s> [--target T] [--features F,..] [--deny info|warning|error]
-          | --kernels [--target T] | --campaign N [--seed S]
+          [--vuln] | --kernels [--target T] [--vuln] | --campaign N [--seed S]
   disasm  <prog.bin> [--target T]
   run     <file.s> [--target T] [--features F,..] [--input 1,2,..]
                    [--max-cycles N] [--trace]
@@ -150,14 +150,30 @@ pub fn check(args: &mut Args) -> Result<String, CliError> {
     }
 
     let target = args.target()?;
+    let vuln = args.has("vuln");
     if args.has("kernels") {
         let mut out = String::new();
         let mut worst: Option<String> = None;
+        let mut digest = 0xCBF2_9CE4_8422_2325u64;
         for kernel in flexkernels::Kernel::ALL {
             if !kernel.supports(target.dialect) {
                 continue;
             }
             let assembly = Assembler::new(target).assemble(&kernel.source_for(target.dialect))?;
+            if vuln {
+                let report = flexcheck::vuln::analyze_assembly(&assembly);
+                let _ = writeln!(
+                    out,
+                    "{kernel}: {}/{} site(s) provably masked ({:.1}%), {} polarity-masked bit(s)",
+                    report.masked_sites(),
+                    report.total_sites(),
+                    report.masked_fraction() * 100.0,
+                    report.polarity_masked_bits(),
+                );
+                digest ^= report.digest();
+                digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+                continue;
+            }
             let report = flexcheck::check_assembly(&assembly);
             let _ = writeln!(
                 out,
@@ -172,6 +188,9 @@ pub fn check(args: &mut Args) -> Result<String, CliError> {
                 worst = Some(kernel.to_string());
             }
         }
+        if vuln {
+            let _ = writeln!(out, "suite vuln digest {digest:#018x}");
+        }
         if let Some(kernel) = worst {
             return Err(CliError::Run(format!(
                 "kernel `{kernel}` has findings at or above `{deny}` severity"
@@ -183,6 +202,10 @@ pub fn check(args: &mut Args) -> Result<String, CliError> {
     let path = args.positional(0, "source file").map(str::to_string)?;
     let source = std::fs::read_to_string(&path)?;
     let assembly = Assembler::new(target).assemble(&source)?;
+    if vuln {
+        let report = flexcheck::vuln::analyze_assembly(&assembly);
+        return Ok(format!("{path}: {}", report.render()));
+    }
     let report = flexcheck::check_assembly(&assembly);
     let out = format!("{path}: {}", report.render());
     if report.has_at_least(deny) {
@@ -1228,6 +1251,26 @@ mod tests {
             let out = call(&["check", "--kernels", "--target", target]).unwrap();
             assert!(out.contains("reachable instruction(s)"), "{out}");
         }
+    }
+
+    #[test]
+    fn check_vuln_classifies_a_file() {
+        let src = write_temp("check_vuln", ADD3);
+        let out = call(&["check", &src, "--vuln"]).unwrap();
+        assert!(out.contains("provably masked"), "{out}");
+        assert!(out.contains("exact"), "{out}");
+    }
+
+    #[test]
+    fn check_vuln_kernels_prints_fractions_and_digest() {
+        let out = call(&["check", "--kernels", "--vuln", "--target", "fc4"]).unwrap();
+        assert!(out.contains("site(s) provably masked"), "{out}");
+        assert!(out.contains("suite vuln digest 0x"), "{out}");
+        // deterministic across invocations
+        assert_eq!(
+            out,
+            call(&["check", "--kernels", "--vuln", "--target", "fc4"]).unwrap()
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl<T: InputPort + ?Sized> InputPort for &mut T {
 
 impl<T: OutputPort + ?Sized> OutputPort for &mut T {
     fn write(&mut self, cycle: u64, value: u8) {
-        (**self).write(cycle, value)
+        (**self).write(cycle, value);
     }
 }
 

@@ -702,7 +702,7 @@ mod tests {
             kind: FaultKind::FlipAtCycle(9),
         }]);
         assert!(fetch.corrupts_fetch(), "transients on the bus count too");
-        let mut via_mut = fetch.clone();
+        let mut via_mut = fetch;
         let forwarded: &mut FaultPlane = &mut via_mut;
         assert!(
             <&mut FaultPlane as FaultHook>::corrupts_fetch(&forwarded),

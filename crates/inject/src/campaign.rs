@@ -141,6 +141,11 @@ pub struct CampaignResult {
     /// Cycle count of the fault-free reference run (bounds the transient
     /// flip window).
     pub clean_cycles: u64,
+    /// Trials that actually reached the simulator. Equal to
+    /// `trials.len()` for an unpruned campaign; smaller when a
+    /// [`flexcheck::vuln::VulnReport`] synthesized masked outcomes
+    /// statically.
+    pub executed: usize,
 }
 
 /// Run a campaign: `config.trials` single-fault injections of `kernel`
@@ -153,6 +158,32 @@ pub struct CampaignResult {
 /// *clean* makes every classification meaningless, so that is reported
 /// rather than counted.
 pub fn run_campaign(config: CampaignConfig) -> Result<CampaignResult, RunError> {
+    run_campaign_pruned(config, None)
+}
+
+/// Run a campaign, optionally pruned by a static
+/// [`flexcheck::vuln::VulnReport`] for the same kernel image: trials
+/// whose fault lands on a provably-masked
+/// element skip the simulator and record [`Outcome::Masked`] directly.
+///
+/// The fault and input streams are pre-drawn identically to the
+/// unpruned path — pruning only decides which pre-drawn trials execute
+/// — so the report is bit-for-bit equal to [`run_campaign`]'s for any
+/// sound report. Soundness is the analyzer's contract, enforced by
+/// `flexcheck::soundness::check_masked_sites`: a single-fault run on a
+/// never-read element is observably fault-free, for permanent and
+/// transient faults alike.
+///
+/// The report must describe the same program the campaign assembles
+/// (same kernel, same target); the caller owns that pairing.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_pruned(
+    config: CampaignConfig,
+    prune: Option<&flexcheck::vuln::VulnReport>,
+) -> Result<CampaignResult, RunError> {
     let prepared = PreparedKernel::new(config.kernel, config.target)?;
     let site_list = sites::enumerate(config.target.dialect);
     let mut sampler = Sampler::new(config.kernel, config.seed ^ 0x001A_7E57);
@@ -173,32 +204,44 @@ pub fn run_campaign(config: CampaignConfig) -> Result<CampaignResult, RunError> 
     // Each shard runs its contiguous range of trials as one packed batch
     // and the results merge back in shard (= trial) order, so neither
     // the thread count nor the shard count can change a single bit of
-    // the report.
+    // the report. Pruning happens *after* the draws: a pruned trial
+    // still consumes its RNG and sampler draws, it just never reaches
+    // the simulator, so pruned and unpruned reports stay comparable.
     let mut faults = Vec::with_capacity(config.trials);
+    let mut executed_at = Vec::with_capacity(config.trials);
     let mut batch = Vec::with_capacity(config.trials);
-    for _ in 0..config.trials {
+    for i in 0..config.trials {
         let fault = draw_fault(&mut rng, &site_list, config.model, clean_cycles);
+        let inputs = sampler.draw();
         faults.push(fault);
+        if prune.is_some_and(|report| report.is_masked_fault(&fault)) {
+            continue;
+        }
+        executed_at.push(i);
         batch.push(BatchCase {
-            inputs: sampler.draw(),
+            inputs,
             faults: FaultPlane::with_faults(vec![fault]),
         });
     }
+    let executed = batch.len();
     let runs = flexshard::map_sharded(batch.len(), config.shards, config.threads, |_, range| {
         prepared.run_batch(batch[range].to_vec(), config.budget)
     });
-    let trials = faults
+    let mut trials: Vec<Trial> = faults
         .into_iter()
-        .zip(runs)
-        .map(|(fault, run)| Trial {
+        .map(|fault| Trial {
             fault,
-            outcome: classify(run),
+            outcome: Outcome::Masked,
         })
         .collect();
+    for (&i, run) in executed_at.iter().zip(runs) {
+        trials[i].outcome = classify(run);
+    }
     Ok(CampaignResult {
         config,
         trials,
         clean_cycles,
+        executed,
     })
 }
 

@@ -40,7 +40,9 @@ pub mod salvage;
 pub mod sites;
 pub mod stress;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultModel, Outcome, Trial};
+pub use campaign::{
+    run_campaign, run_campaign_pruned, CampaignConfig, CampaignResult, FaultModel, Outcome, Trial,
+};
 pub use pool::{PoolDie, SalvagePool};
 pub use report::Tally;
 pub use salvage::{SalvageAnalysis, SalvageConfig, SalvageScreen};

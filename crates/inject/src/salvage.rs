@@ -129,16 +129,47 @@ pub fn die_is_salvageable(
     variation: &DieVariation,
     config: &SalvageConfig,
 ) -> bool {
+    die_is_salvageable_pruned(prepared, None, variation, config)
+}
+
+/// Screen one die's defect draw, optionally pruned by per-kernel
+/// [`VulnReport`]s (one per `prepared` entry, same order).
+///
+/// Pruning is deliberately all-or-nothing per kernel: a kernel's batch
+/// is skipped only when **every** fault of the die plane lands on an
+/// element that kernel provably never reads — a set of faults confined
+/// to dead state is jointly invisible, so the skipped run is Masked by
+/// construction. A *mixed* plane always simulates in full: a live fault
+/// can steer execution into code the static analysis proved
+/// unreachable, where a "dead" element suddenly gets read, so dropping
+/// individual masked faults from a live plane would be unsound.
+///
+/// [`VulnReport`]: flexcheck::vuln::VulnReport
+#[must_use]
+pub fn die_is_salvageable_pruned(
+    prepared: &[PreparedKernel],
+    reports: Option<&[flexcheck::vuln::VulnReport]>,
+    variation: &DieVariation,
+    config: &SalvageConfig,
+) -> bool {
     let Some(first) = prepared.first() else {
         return false;
     };
+    if let Some(reports) = reports {
+        debug_assert_eq!(reports.len(), prepared.len());
+    }
     let faults = sites::die_faults(
         first.target().dialect,
         variation.defect_seed,
         variation.defect_count,
     );
-    let plane = FaultPlane::with_faults(faults);
-    for kernel in prepared {
+    let plane = FaultPlane::with_faults(faults.clone());
+    for (idx, kernel) in prepared.iter().enumerate() {
+        if let Some(report) = reports.and_then(|r| r.get(idx)) {
+            if faults.iter().all(|f| report.is_masked_fault(f)) {
+                continue;
+            }
+        }
         // All of a kernel's cases run as one multi-core batch, one lane
         // per case; each lane gets a freshly armed copy of the die's
         // fault plane (equivalent to the old serial reset() per run).
@@ -172,6 +203,7 @@ pub struct SalvageScreen {
     design: CoreDesign,
     config: SalvageConfig,
     prepared: Vec<PreparedKernel>,
+    vuln: Vec<flexcheck::vuln::VulnReport>,
 }
 
 impl SalvageScreen {
@@ -196,10 +228,18 @@ impl SalvageScreen {
             let inputs = Sampler::new(kernel.kernel(), config.seed).draw();
             kernel.run_with(&inputs, config.budget, &mut NoFaults)?;
         }
+        // Static vulnerability reports, one per kernel: amortized here so
+        // pruned analyses pay for the dataflow pass once per screen, not
+        // once per die.
+        let vuln = prepared
+            .iter()
+            .map(|kernel| flexcheck::vuln::analyze(&target, kernel.program()))
+            .collect();
         Ok(SalvageScreen {
             design,
             config,
             prepared,
+            vuln,
         })
     }
 
@@ -207,15 +247,30 @@ impl SalvageScreen {
     /// preparation already happened in [`SalvageScreen::new`].
     #[must_use]
     pub fn analyze(&self, run: &WaferRun) -> SalvageAnalysis {
+        self.analyze_with_pruning(run, false)
+    }
+
+    /// Classify every die, skipping kernel batches whose whole fault
+    /// plane is provably masked by the screen's static vulnerability
+    /// reports. Bit-for-bit identical to [`SalvageScreen::analyze`] —
+    /// pruning only removes simulations whose outcome is already known.
+    #[must_use]
+    pub fn analyze_pruned(&self, run: &WaferRun) -> SalvageAnalysis {
+        self.analyze_with_pruning(run, true)
+    }
+
+    fn analyze_with_pruning(&self, run: &WaferRun, prune: bool) -> SalvageAnalysis {
         // One work unit per die: classification is a pure function of
         // the die's outcome and variation, so dies screen in parallel
         // and merge back in wafer-site order bit-for-bit identical to a
         // serial pass.
+        let reports = prune.then_some(self.vuln.as_slice());
         let classes = flexshard::map_indexed(run.outcomes.len(), self.config.threads, |i| {
             classify_die(
                 &run.outcomes[i],
                 &run.variations[i],
                 &self.prepared,
+                reports,
                 &self.config,
             )
         });
@@ -247,13 +302,14 @@ fn classify_die(
     outcome: &DieOutcome,
     variation: &DieVariation,
     prepared: &[PreparedKernel],
+    reports: Option<&[flexcheck::vuln::VulnReport]>,
     config: &SalvageConfig,
 ) -> DieClass {
     if outcome.functional() {
         DieClass::Functional
     } else if outcome.timing_errors > 0 {
         DieClass::TimingFailure
-    } else if die_is_salvageable(prepared, variation, config) {
+    } else if die_is_salvageable_pruned(prepared, reports, variation, config) {
         DieClass::Salvaged
     } else {
         DieClass::Unsalvageable
@@ -356,7 +412,7 @@ mod tests {
             defect_leak_ma: 0.0,
         };
         assert_eq!(
-            classify_die(&outcome, &variation, &[], &quick_config()),
+            classify_die(&outcome, &variation, &[], None, &quick_config()),
             DieClass::TimingFailure
         );
     }

@@ -237,7 +237,7 @@ mod tests {
         assert_eq!(back, meta);
         assert!(back.matches_image(&image));
         assert!(!back.matches_image(&image[..199]));
-        let mut other = image.clone();
+        let mut other = image;
         other[0] ^= 1;
         assert!(!back.matches_image(&other));
     }

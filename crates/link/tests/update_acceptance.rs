@@ -54,7 +54,7 @@ fn double_error_detect_scrub_and_rollback_end_to_end() {
             scrub_interval: 2,
         },
     )
-    .with_rollback(boot.program.clone());
+    .with_rollback(boot.program);
     let mut store = EccStore::erased(image.len());
     for page in 0..image.len().div_ceil(PAGE_BYTES) {
         let lo = page * PAGE_BYTES;

@@ -229,6 +229,7 @@ impl From<RunError> for MissionError {
 pub fn run_mission_campaign(config: &MissionConfig) -> Result<MissionCampaign, MissionError> {
     let prepared = PreparedKernel::new(config.kernel, config.target)?;
     let image = prepared.program().as_bytes().to_vec();
+    let vuln = flexcheck::vuln::analyze(&config.target, prepared.program());
     // Golden path: if the fleet image cannot provision under this
     // config, no trial can either — fail loudly up front instead of
     // panicking inside a worker thread.
@@ -239,7 +240,7 @@ pub fn run_mission_campaign(config: &MissionConfig) -> Result<MissionCampaign, M
     let trials =
         flexshard::map_sharded(config.trials, config.shards, config.threads, |_, range| {
             range
-                .map(|index| run_trial(config, &prepared, &image, index))
+                .map(|index| run_trial(config, &prepared, &vuln, &image, index))
                 .collect()
         });
     Ok(MissionCampaign {
@@ -263,6 +264,10 @@ fn fresh_device(config: &MissionConfig, image: &[u8], trial_seed: u64) -> Device
 struct Platform<'a> {
     config: &'a MissionConfig,
     prepared: &'a PreparedKernel,
+    /// Static vulnerability report of the mission kernel: rescreens
+    /// spend stimulus in proportion to how much of a die's damage the
+    /// analyzer could not prove masked.
+    vuln: &'a flexcheck::vuln::VulnReport,
     trial_seed: u64,
     /// Accumulated permanent faults, per die id.
     die_faults: Vec<Vec<ArchFault>>,
@@ -310,8 +315,23 @@ impl Platform<'_> {
     /// board cannot replay a bend). Passing restores full trust.
     fn rescreen_die(&mut self, die: usize) -> bool {
         let plan = flexfab::tester::TestPlan::self_test();
-        // one kernel run stands in for ~64 tester cycles of stimulus
-        let vectors = (plan.total_cycles() / 64).max(1);
+        // one kernel run stands in for ~64 tester cycles of stimulus;
+        // scale the budget by the live fraction of this die's permanent
+        // faults — stimulus spent exciting provably-masked damage is
+        // wasted, and a die whose faults are all masked only needs a
+        // single confirmation run. Pure function of the fault set, so
+        // replay stays bit-for-bit.
+        let base = (plan.total_cycles() / 64).max(1);
+        let faults = &self.die_faults[die];
+        let live = faults
+            .iter()
+            .filter(|f| !self.vuln.is_masked_fault(f))
+            .count() as u64;
+        let vectors = if faults.is_empty() {
+            base
+        } else {
+            (base * live).div_ceil(faults.len() as u64).max(1)
+        };
         let seed = shard_seed(
             shard_seed(self.trial_seed, STREAM_RESCREEN),
             self.rescreen_draws,
@@ -409,6 +429,7 @@ fn credit(lanes: usize) -> u64 {
 fn run_trial(
     config: &MissionConfig,
     prepared: &PreparedKernel,
+    vuln: &flexcheck::vuln::VulnReport,
     image: &[u8],
     index: usize,
 ) -> MissionTrial {
@@ -433,6 +454,7 @@ fn run_trial(
     let mut platform = Platform {
         config,
         prepared,
+        vuln,
         trial_seed,
         die_faults: vec![Vec::new(); total_dies],
         health: vec![HealthMonitor::new(); total_dies],

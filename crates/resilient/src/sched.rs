@@ -133,7 +133,37 @@ fn compatible(dies: &[&PoolDie], candidate: &PoolDie) -> bool {
 pub fn compose(pool: &SalvagePool) -> Vec<Quorum> {
     let mut dies = pool.dies().to_vec();
     dies.sort_by_key(|d| (d.defect_count, d.id));
+    compose_sorted(dies)
+}
 
+/// [`compose`], but ranked by the static vulnerability report of the
+/// program the quorums will run: dies are considered *live-healthiest*
+/// first — fewest defects the analyzer could not prove masked for this
+/// program, raw defect count and id breaking ties. A die whose stuck
+/// bits all land on provably-dead state behaves exactly like a clean
+/// die for this program, so it anchors a quorum instead of being
+/// buried under nominally-cleaner material.
+///
+/// The disjointness rule is unchanged (it protects the vote even if
+/// the analysis were wrong about a site), so `compose_ranked` only
+/// re-orders which dies anchor quorums — it never groups overlapping
+/// dies.
+#[must_use]
+pub fn compose_ranked(pool: &SalvagePool, report: &flexcheck::vuln::VulnReport) -> Vec<Quorum> {
+    let mut dies = pool.dies().to_vec();
+    dies.sort_by_key(|d| {
+        let live = d
+            .faults
+            .iter()
+            .filter(|f| !report.is_masked_fault(f))
+            .count();
+        (live, d.defect_count, d.id)
+    });
+    compose_sorted(dies)
+}
+
+/// The greedy ladder descent over an already-ranked die list.
+fn compose_sorted(mut dies: Vec<PoolDie>) -> Vec<Quorum> {
     let mut quorums = Vec::new();
     while !dies.is_empty() {
         let chosen = pick_triple(&dies)
@@ -304,6 +334,42 @@ mod tests {
         let mut expected: Vec<usize> = pool.dies().iter().map(|d| d.id).collect();
         expected.sort_unstable();
         assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn ranked_compose_prefers_dies_whose_defects_are_masked() {
+        use flexicore::Program;
+
+        // nandi 0 ; br self: memory, IO and the pending latch are all
+        // provably dead, so a die riddled with memory stuck-ats is
+        // live-clean for this program while a single Acc defect is not
+        let target = flexasm::Target::fc4();
+        let program = Program::from_bytes(vec![0b0101_0000, 0b1000_0001]);
+        let report = flexcheck::vuln::analyze(&target, &program);
+
+        let masked_heavy = die(
+            7,
+            &[
+                (StateElement::Mem(2), 0),
+                (StateElement::Mem(3), 1),
+                (StateElement::Mem(4), 2),
+            ],
+        );
+        let live_light = die(1, &[(StateElement::Acc, 0)]);
+        let pool = pool_of(vec![live_light.clone(), masked_heavy.clone()]);
+
+        // raw ranking anchors on the fewest-defect die ...
+        assert_eq!(compose(&pool)[0].dies[0].id, live_light.id);
+        // ... vulnerability ranking anchors on the live-clean one
+        let ranked = compose_ranked(&pool, &report);
+        assert_eq!(ranked[0].dies[0].id, masked_heavy.id);
+        // same membership either way, just re-ordered
+        let mut ids: Vec<usize> = ranked
+            .iter()
+            .flat_map(|q| q.dies.iter().map(|d| d.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 7]);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub fn build_fc4() -> Netlist {
     // word 1: output-port latch; words 2..7: general registers
     let dec = n.decoder(&addr);
     let mut words: Vec<Vec<Net>> = Vec::with_capacity(MEM_WORDS);
-    words.push(iport.clone()); // word 0 reads the live input bus
+    words.push(iport); // word 0 reads the live input bus
     let mut stored_words: Vec<Vec<Net>> = Vec::new();
     for d in dec
         .iter()

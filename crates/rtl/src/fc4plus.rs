@@ -53,7 +53,7 @@ pub fn build_fc4_plus() -> Netlist {
     let addr = [instr[0], instr[1], instr[2]];
     let dec = n.decoder(&addr);
     let mut words: Vec<Vec<Net>> = Vec::with_capacity(8);
-    words.push(iport.clone());
+    words.push(iport);
     let mut stored: Vec<Vec<Net>> = Vec::new();
     for d in dec.iter().skip(1).take(8 - 1).copied().collect::<Vec<_>>() {
         let we = n.and(is_store, d);

@@ -74,7 +74,7 @@ pub fn build_fc8() -> Netlist {
     let addr = [instr[0], instr[1]];
     let dec = n.decoder(&addr);
     let mut words: Vec<Vec<Net>> = Vec::with_capacity(MEM_WORDS);
-    words.push(iport.clone());
+    words.push(iport);
     let mut stored: Vec<Vec<Net>> = Vec::new();
     for d in dec
         .iter()

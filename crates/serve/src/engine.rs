@@ -131,6 +131,11 @@ impl Engine {
                 cycles,
                 salvage,
             } => self.yield_reply(design, *voltage_mv, *seed, *cycles, *salvage, deadline),
+            Request::Vuln {
+                dialect,
+                features,
+                source,
+            } => vuln_reply(dialect, features, source),
             Request::Boom => panic!("boom: injected worker panic probe"),
             Request::Status | Request::Drain | Request::Batch(_) => {
                 Reply::protocol("not a computation request")
@@ -278,6 +283,22 @@ fn admit_reply(dialect: &str, features: &str, source: &str, deny: u8) -> Reply {
             }
             Reply::error(text)
         }
+    }
+}
+
+fn vuln_reply(dialect: &str, features: &str, source: &str) -> Reply {
+    let target = match parse_target(dialect, features) {
+        Ok(target) => target,
+        Err(reply) => return reply,
+    };
+    let assembly = match Assembler::new(target).assemble(source) {
+        Ok(assembly) => assembly,
+        Err(e) => return Reply::error(e.to_string()),
+    };
+    let report = flexcheck::vuln::analyze(&target, assembly.program());
+    Reply {
+        data: report.digest().to_be_bytes().to_vec(),
+        ..Reply::ok(report.render())
     }
 }
 
@@ -440,6 +461,22 @@ mod tests {
         };
         let reply = engine().execute(&req, &Deadline::none());
         assert_eq!(reply.status, ReplyStatus::Ok, "{}", reply.text);
+    }
+
+    #[test]
+    fn vuln_is_deterministic_and_carries_the_digest() {
+        let req = Request::Vuln {
+            dialect: "fc4".into(),
+            features: String::new(),
+            source: ADD3.into(),
+        };
+        let a = engine().execute(&req, &Deadline::none());
+        let b = engine().execute(&req, &Deadline::none());
+        assert_eq!(a, b);
+        assert_eq!(a.status, ReplyStatus::Ok, "{}", a.text);
+        assert!(a.text.contains("provably masked"), "{}", a.text);
+        assert_eq!(a.data.len(), 8, "8-byte report digest rides in data");
+        assert!(req.cacheable(), "vuln replies are pure and cacheable");
     }
 
     #[test]

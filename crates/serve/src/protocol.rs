@@ -112,6 +112,18 @@ pub enum Request {
     /// the reply data carries one encoded sub-reply per sub-request, in
     /// order. Batches do not nest.
     Batch(Vec<Request>),
+    /// Assemble and run the static fault-vulnerability analysis
+    /// (`flexcheck::vuln`); the reply text is the rendered site
+    /// classification, the reply data the 8-byte big-endian report
+    /// digest.
+    Vuln {
+        /// Dialect name.
+        dialect: String,
+        /// Feature list.
+        features: String,
+        /// Assembly source text.
+        source: String,
+    },
     /// Panic-injection probe: the worker that picks this up panics.
     Boom,
 }
@@ -128,6 +140,7 @@ impl Request {
                 | Request::Admit { .. }
                 | Request::Simulate { .. }
                 | Request::Yield { .. }
+                | Request::Vuln { .. }
         )
     }
 
@@ -142,6 +155,7 @@ impl Request {
             Request::Admit { .. } => "admit",
             Request::Simulate { .. } => "simulate",
             Request::Yield { .. } => "yield",
+            Request::Vuln { .. } => "vuln",
             Request::Batch(_) => "batch",
             Request::Boom => "boom",
         }
@@ -479,6 +493,16 @@ fn encode_core_into(w: &mut Writer, request: &Request) {
             }
         }
         Request::Boom => w.u8(8),
+        Request::Vuln {
+            dialect,
+            features,
+            source,
+        } => {
+            w.u8(9);
+            w.str(dialect);
+            w.str(features);
+            w.str(source);
+        }
     }
 }
 
@@ -550,6 +574,11 @@ fn decode_core_reader(r: &mut Reader<'_>, nested: bool) -> Result<Request, Proto
             Ok(Request::Batch(subs))
         }
         8 => Ok(Request::Boom),
+        9 => Ok(Request::Vuln {
+            dialect: r.str(64, "dialect")?,
+            features: r.str(256, "features")?,
+            source: r.str(MAX_FRAME, "source")?,
+        }),
         other => Err(ProtoError::new(format!("unknown request kind {other}"))),
     }
 }
@@ -879,6 +908,11 @@ mod tests {
             seed: 0xD1E5,
             cycles: 2_000,
             salvage: true,
+        });
+        roundtrip(&Request::Vuln {
+            dialect: "fc4".into(),
+            features: String::new(),
+            source: "load r0\nhalt\n".into(),
         });
         roundtrip(&Request::Batch(vec![
             Request::Boom,

@@ -223,13 +223,14 @@ fn run_job(shared: &Shared, request: &Request, core: &[u8], deadline: &Deadline)
         shared.engine.execute(request, deadline)
     }));
     match outcome {
-        Ok(reply) => {
+        Ok(mut reply) => {
             // Ok and deterministic Error verdicts are pure functions of
             // the core bytes: cache both. Service conditions are not.
+            // Stored entries are provenance-free, and a freshly computed
+            // reply is by definition not from the cache.
             if request.cacheable() && matches!(reply.status, ReplyStatus::Ok | ReplyStatus::Error) {
-                let mut canon = reply.clone();
-                canon.cached = false;
-                shared.cache.put(&key, &encode_reply_core(&canon));
+                reply.cached = false;
+                shared.cache.put(&key, &encode_reply_core(&reply));
             }
             reply
         }
